@@ -1,0 +1,89 @@
+// Package arch defines the basic architectural vocabulary shared by every
+// subsystem of the simulator: byte addresses, cache-line addresses, cycle
+// counts, and MESI coherence states.
+//
+// Keeping these tiny types in one leaf package lets the cache, coherence,
+// memory-system, CPU, and CleanupSpec packages talk to each other without
+// import cycles.
+package arch
+
+import "fmt"
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// LineAddr is a cache-line address: a byte address with the line-offset bits
+// stripped (addr >> LineShift). All cache and coherence structures operate on
+// line addresses.
+type LineAddr uint64
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+const (
+	// LineBytes is the cache line size used throughout the system,
+	// matching the paper's configuration (Table 4).
+	LineBytes = 64
+	// LineShift is log2(LineBytes).
+	LineShift = 6
+	// LineAddrBits is the width of a line address tracked by SEFE entries
+	// (the paper's Figure 7 uses a 40-bit L1-evict line address).
+	LineAddrBits = 40
+)
+
+// CodeBase is the byte address where instruction memory begins; PC i
+// occupies InstBytes at CodeBase + i*InstBytes. Keeping code far above all
+// data regions means instruction and data lines never collide.
+const CodeBase Addr = 0x4000_0000_0000
+
+// InstBytes is the encoded size of one instruction (8 bytes keeps the
+// arithmetic trivial; the ISA is synthetic).
+const InstBytes = 8
+
+// PCLine returns the I-cache line holding the instruction at pc.
+func PCLine(pc Addr) LineAddr { return (CodeBase + pc*InstBytes).Line() }
+
+// Line returns the cache-line address containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Offset returns the byte offset of a within its cache line.
+func (a Addr) Offset() uint64 { return uint64(a) & (LineBytes - 1) }
+
+// Addr returns the byte address of the first byte of line l.
+func (l LineAddr) Addr() Addr { return Addr(l << LineShift) }
+
+func (a Addr) String() string     { return fmt.Sprintf("0x%x", uint64(a)) }
+func (l LineAddr) String() string { return fmt.Sprintf("L0x%x", uint64(l)) }
+
+// CohState is a MESI coherence state for a cached line.
+type CohState uint8
+
+// MESI states. Invalid is the zero value so that an unused line is Invalid.
+const (
+	Invalid CohState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer for CohState.
+func (s CohState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("CohState(%d)", uint8(s))
+}
+
+// IsOwned reports whether the state grants its holder ownership (the ability
+// to observe latency differences on downgrade, per the paper's Section 3.5).
+func (s CohState) IsOwned() bool { return s == Exclusive || s == Modified }
+
+// Valid reports whether the state represents a present line.
+func (s CohState) Valid() bool { return s != Invalid }

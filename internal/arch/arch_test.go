@@ -1,0 +1,70 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineRoundTrip(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line LineAddr
+		off  uint64
+	}{
+		{0, 0, 0},
+		{63, 0, 63},
+		{64, 1, 0},
+		{65, 1, 1},
+		{0xFFFF, 0x3FF, 63},
+		{1 << 40, 1 << 34, 0},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("%v.Line() = %v, want %v", c.addr, got, c.line)
+		}
+		if got := c.addr.Offset(); got != c.off {
+			t.Errorf("%v.Offset() = %d, want %d", c.addr, got, c.off)
+		}
+	}
+}
+
+func TestLineAddrBase(t *testing.T) {
+	if got := LineAddr(3).Addr(); got != 192 {
+		t.Fatalf("LineAddr(3).Addr() = %v, want 192", got)
+	}
+}
+
+func TestLinePropertyRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		// The line base plus the offset reconstructs the address.
+		return Addr(uint64(addr.Line().Addr())+addr.Offset()) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCohStateStrings(t *testing.T) {
+	want := map[CohState]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), s)
+		}
+	}
+	if CohState(9).String() == "" {
+		t.Error("unknown state should still format")
+	}
+}
+
+func TestCohStatePredicates(t *testing.T) {
+	if Invalid.Valid() || !Shared.Valid() || !Modified.Valid() {
+		t.Error("Valid() wrong")
+	}
+	if Shared.IsOwned() || Invalid.IsOwned() {
+		t.Error("S/I must not be owned")
+	}
+	if !Exclusive.IsOwned() || !Modified.IsOwned() {
+		t.Error("E/M must be owned")
+	}
+}

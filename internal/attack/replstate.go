@@ -1,0 +1,32 @@
+package attack
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+// ReplacementStateChannel demonstrates the replacement-state side channel
+// of Section 2.1/3.2: a transient *hit* changes nothing in the tag array,
+// but under LRU it reorders the victim-selection state, which an attacker
+// can observe by forcing an eviction. CleanupSpec closes the channel by
+// using random replacement for the L1 (a hit updates no state at all).
+//
+// The experiment: the attacker primes a 2-way set with lines A then B
+// (A is now LRU). The victim transiently hits A (or does not). The
+// attacker installs C, evicting the current LRU, and then checks whether A
+// survived. Under LRU, A's survival reveals the transient hit; under
+// random replacement the outcome is independent of it.
+func ReplacementStateChannel(repl cache.ReplKind, transientHit bool, seed uint64) (aSurvived bool) {
+	c := cache.New(cache.Config{
+		Name: "L1", SizeBytes: 512, Ways: 2, Repl: repl, Seed: seed,
+	})
+	a, b, probe := arch.LineAddr(0), arch.LineAddr(4), arch.LineAddr(8) // same set
+	c.Install(a, arch.Exclusive, 0, 1)
+	c.Install(b, arch.Exclusive, 0, 2)
+	if transientHit {
+		c.Lookup(a) // the victim's transient hit
+	}
+	c.Install(probe, arch.Exclusive, 0, 3)
+	_, ok := c.Probe(a)
+	return ok
+}

@@ -1,0 +1,78 @@
+package ceaser
+
+import (
+	"repro/internal/arch"
+	"repro/internal/xrand"
+)
+
+// Dynamic remapping (CEASER's epoch mechanism): the indexer holds a current
+// and a next key and a set pointer SPtr. Sets below SPtr have been
+// relocated to the next key's mapping; the pointer advances gradually (one
+// set at a time, paced by the cache controller), and when it reaches the
+// last set the next key becomes current. An attacker can therefore never
+// observe a stable set mapping for longer than one remap period.
+//
+// The timing cost of relocation is not modeled (CEASER reports ~1%); the
+// mechanism here is functional: memsys.L2RemapStep physically moves the
+// affected lines so lookups stay correct throughout.
+
+// StartRemap begins a remap epoch toward a fresh key derived from seed.
+// It is a no-op if a remap is already in progress.
+func (ix *Indexer) StartRemap(seed uint64) {
+	if ix.remapping {
+		return
+	}
+	r := xrand.New(seed ^ 0x4EA1)
+	for i := range ix.nextKeys {
+		ix.nextKeys[i] = r.Uint64()
+	}
+	ix.sptr = 0
+	ix.remapping = true
+}
+
+// Remapping reports whether a remap epoch is in progress.
+func (ix *Indexer) Remapping() bool { return ix.remapping }
+
+// SPtr returns the current relocation pointer (sets < SPtr use the next
+// key).
+func (ix *Indexer) SPtr() int { return ix.sptr }
+
+// AdvanceSPtr moves the relocation pointer past one more set. The caller
+// must first relocate the lines of set SPtr (see memsys.L2RemapStep). When
+// the pointer passes the last set, the next key becomes current and the
+// remap epoch ends.
+func (ix *Indexer) AdvanceSPtr() {
+	if !ix.remapping {
+		return
+	}
+	ix.sptr++
+	if uint64(ix.sptr) >= ix.sets {
+		ix.keys = ix.nextKeys
+		ix.remapping = false
+		ix.sptr = 0
+		ix.Remaps++
+	}
+}
+
+// CurIndex returns the set l maps to under the current key only (ignoring
+// relocation state) — the placement rule for lines not yet relocated.
+func (ix *Indexer) CurIndex(l arch.LineAddr) int {
+	return int(ix.encryptWith(ix.keys, l) % ix.sets)
+}
+
+// NextIndex returns the set l maps to under the next key (valid only while
+// remapping).
+func (ix *Indexer) NextIndex(l arch.LineAddr) int {
+	return int(ix.encryptWith(ix.nextKeys, l) % ix.sets)
+}
+
+func (ix *Indexer) encryptWith(keys [rounds]uint64, l arch.LineAddr) uint64 {
+	v := uint64(l) & ((1 << arch.LineAddrBits) - 1)
+	v ^= (uint64(l) >> arch.LineAddrBits)
+	v &= (1 << arch.LineAddrBits) - 1
+	left, right := v>>halfBits, v&halfMask
+	for i := 0; i < rounds; i++ {
+		left, right = right, left^round(right, keys[i])
+	}
+	return left<<halfBits | right
+}

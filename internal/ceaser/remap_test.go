@@ -1,0 +1,86 @@
+package ceaser
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestRemapLifecycle(t *testing.T) {
+	const sets = 64
+	ix := New(sets, 1)
+	if ix.Remapping() {
+		t.Fatal("fresh indexer must not be remapping")
+	}
+	// Record where every sample line will live under the next key.
+	ix.StartRemap(99)
+	if !ix.Remapping() || ix.SPtr() != 0 {
+		t.Fatal("remap did not start")
+	}
+	want := map[arch.LineAddr]int{}
+	for l := arch.LineAddr(0); l < 500; l++ {
+		want[l] = ix.NextIndex(l)
+	}
+	// StartRemap while remapping is a no-op (keys unchanged).
+	ix.StartRemap(12345)
+	for l := arch.LineAddr(0); l < 500; l++ {
+		if ix.NextIndex(l) != want[l] {
+			t.Fatal("nested StartRemap changed the next key")
+		}
+	}
+	// Walk the pointer across all sets; at every step the index must be
+	// either the current or the next mapping according to SPtr.
+	for step := 0; step < sets; step++ {
+		for l := arch.LineAddr(0); l < 100; l++ {
+			got := ix.SetIndex(l)
+			cur := ix.CurIndex(l)
+			if cur < ix.SPtr() {
+				if got != ix.NextIndex(l) {
+					t.Fatalf("step %d: line %v should use next mapping", step, l)
+				}
+			} else if got != cur {
+				t.Fatalf("step %d: line %v should use current mapping", step, l)
+			}
+		}
+		ix.AdvanceSPtr()
+	}
+	if ix.Remapping() {
+		t.Fatal("remap should have completed")
+	}
+	if ix.Remaps != 1 {
+		t.Fatalf("Remaps = %d", ix.Remaps)
+	}
+	// The completed mapping equals the recorded next-key mapping.
+	for l, s := range want {
+		if ix.SetIndex(l) != s {
+			t.Fatalf("line %v: post-remap set %d, want %d", l, ix.SetIndex(l), s)
+		}
+	}
+	// AdvanceSPtr outside a remap is a no-op.
+	ix.AdvanceSPtr()
+	if ix.Remapping() || ix.SPtr() != 0 {
+		t.Fatal("AdvanceSPtr outside remap must do nothing")
+	}
+}
+
+func TestRemapChangesMapping(t *testing.T) {
+	const sets = 256
+	ix := New(sets, 7)
+	before := make([]int, 1000)
+	for i := range before {
+		before[i] = ix.SetIndex(arch.LineAddr(i))
+	}
+	ix.StartRemap(42)
+	for ix.Remapping() {
+		ix.AdvanceSPtr()
+	}
+	changed := 0
+	for i := range before {
+		if ix.SetIndex(arch.LineAddr(i)) != before[i] {
+			changed++
+		}
+	}
+	if changed < 900 {
+		t.Fatalf("only %d/1000 mappings changed after a full remap", changed)
+	}
+}

@@ -1,0 +1,259 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/xrand"
+)
+
+const line = arch.LineAddr(0x1000)
+
+func TestFirstReaderGetsExclusive(t *testing.T) {
+	d := NewDirectory(4)
+	g := d.GetS(0, line)
+	if g.State != arch.Exclusive || g.Source != SrcMemory || g.RemoteOwned {
+		t.Fatalf("grant %+v", g)
+	}
+	if st := d.State(0, line); st != arch.Exclusive {
+		t.Fatalf("state %v", st)
+	}
+}
+
+func TestSecondReaderDowngradesOwner(t *testing.T) {
+	d := NewDirectory(4)
+	d.GetS(0, line)
+	g := d.GetS(1, line)
+	if g.State != arch.Shared || !g.RemoteOwned || g.Source != SrcRemote {
+		t.Fatalf("grant %+v", g)
+	}
+	if len(g.Downgrades) != 1 || g.Downgrades[0] != 0 {
+		t.Fatalf("downgrades %v", g.Downgrades)
+	}
+	if d.State(0, line) != arch.Shared || d.State(1, line) != arch.Shared {
+		t.Fatal("both cores must be S after downgrade")
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThirdReaderJustShares(t *testing.T) {
+	d := NewDirectory(4)
+	d.GetS(0, line)
+	d.GetS(1, line)
+	g := d.GetS(2, line)
+	if g.State != arch.Shared || g.RemoteOwned || len(g.Downgrades) != 0 {
+		t.Fatalf("grant %+v", g)
+	}
+}
+
+func TestGetSSafeFailsOnRemoteOwner(t *testing.T) {
+	d := NewDirectory(4)
+	d.GetX(0, line) // core 0 takes M
+	g, ok := d.GetSSafe(1, line)
+	if ok {
+		t.Fatal("GetS-Safe must fail against a remote M owner")
+	}
+	if !g.RemoteOwned {
+		t.Fatal("failure must report remote ownership")
+	}
+	// Crucially: no state change happened.
+	if d.State(0, line) != arch.Modified {
+		t.Fatal("GetS-Safe failure must not downgrade the owner")
+	}
+	if d.State(1, line) != arch.Invalid {
+		t.Fatal("GetS-Safe failure must not grant the requester anything")
+	}
+	if d.Stats.GetSSafeFail != 1 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+	// Retry as plain GetS on the correct path succeeds.
+	g2 := d.GetS(1, line)
+	if g2.State != arch.Shared || len(g2.Downgrades) != 1 {
+		t.Fatalf("retry grant %+v", g2)
+	}
+}
+
+func TestGetSSafeSucceedsWhenNotRemoteOwned(t *testing.T) {
+	d := NewDirectory(4)
+	// Unowned line.
+	if _, ok := d.GetSSafe(1, line); !ok {
+		t.Fatal("GetS-Safe must succeed on an unowned line")
+	}
+	// Shared line.
+	d.GetS(2, line)
+	if _, ok := d.GetSSafe(3, line); !ok {
+		t.Fatal("GetS-Safe must succeed on a shared line")
+	}
+	// Locally owned line.
+	d2 := NewDirectory(2)
+	d2.GetX(0, line)
+	if g, ok := d2.GetSSafe(0, line); !ok || g.State != arch.Modified {
+		t.Fatalf("GetS-Safe on own M line: (%+v, %v)", g, ok)
+	}
+}
+
+func TestGetXInvalidatesEveryone(t *testing.T) {
+	d := NewDirectory(4)
+	d.GetS(0, line)
+	d.GetS(1, line)
+	d.GetS(2, line)
+	g := d.GetX(3, line)
+	if g.State != arch.Modified {
+		t.Fatalf("grant %+v", g)
+	}
+	if len(g.Invalidates) != 3 {
+		t.Fatalf("invalidates %v", g.Invalidates)
+	}
+	for c := 0; c < 3; c++ {
+		if d.State(c, line) != arch.Invalid {
+			t.Fatalf("core %d not invalidated", c)
+		}
+	}
+	if d.State(3, line) != arch.Modified {
+		t.Fatal("writer must be M")
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetXOnRemoteModified(t *testing.T) {
+	d := NewDirectory(2)
+	d.GetX(0, line)
+	g := d.GetX(1, line)
+	if len(g.Invalidates) != 1 || g.Invalidates[0] != 0 || !g.RemoteOwned {
+		t.Fatalf("grant %+v", g)
+	}
+	if d.Stats.Writebacks != 1 {
+		t.Fatalf("dirty transfer must count a writeback: %+v", d.Stats)
+	}
+}
+
+func TestEvictAndGC(t *testing.T) {
+	d := NewDirectory(2)
+	d.GetS(0, line)
+	d.GetS(1, line)
+	d.Evict(0, line, false)
+	if d.State(0, line) != arch.Invalid || d.State(1, line) != arch.Shared {
+		t.Fatal("evict removed the wrong sharer")
+	}
+	d.Evict(1, line, false)
+	if d.Lines() != 0 {
+		t.Fatal("empty entry must be garbage collected")
+	}
+	// Dirty owner eviction counts a writeback.
+	d.GetX(0, line)
+	d.Evict(0, line, true)
+	if d.Stats.Writebacks != 1 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+	// Eviction of an untracked line is a no-op.
+	d.Evict(0, arch.LineAddr(0x9999), false)
+}
+
+func TestFlushInvalidatesAllHolders(t *testing.T) {
+	d := NewDirectory(4)
+	d.GetS(0, line)
+	d.GetS(1, line)
+	holders := d.Flush(line)
+	if len(holders) != 2 {
+		t.Fatalf("holders %v", holders)
+	}
+	if d.Lines() != 0 {
+		t.Fatal("flushed line must be untracked")
+	}
+	if d.Flush(line) != nil {
+		t.Fatal("double flush must return nil")
+	}
+	// Flush of an M line counts the writeback.
+	d.GetX(2, line)
+	holders = d.Flush(line)
+	if len(holders) != 1 || holders[0] != 2 {
+		t.Fatalf("holders %v", holders)
+	}
+	if d.Stats.Writebacks != 1 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+}
+
+func TestDowngradeOfDirtyOwnerWritesBack(t *testing.T) {
+	d := NewDirectory(2)
+	d.GetX(0, line)
+	d.GetS(1, line)
+	if d.Stats.Writebacks != 1 {
+		t.Fatalf("M->S downgrade must write back: %+v", d.Stats)
+	}
+}
+
+func TestBadCorePanics(t *testing.T) {
+	d := NewDirectory(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.GetS(2, line)
+}
+
+func TestBadCoreCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDirectory(65)
+}
+
+// Property: under any random sequence of GetS/GetX/Evict/Flush operations,
+// the single-writer-multiple-reader invariant holds.
+func TestProtocolInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		d := NewDirectory(4)
+		lines := []arch.LineAddr{1, 2, 3}
+		for i := 0; i < 300; i++ {
+			core := r.Intn(4)
+			l := lines[r.Intn(len(lines))]
+			switch r.Intn(5) {
+			case 0, 1:
+				d.GetS(core, l)
+			case 2:
+				d.GetX(core, l)
+			case 3:
+				d.Evict(core, l, r.Bool(0.5))
+			case 4:
+				if r.Bool(0.2) {
+					d.Flush(l)
+				} else {
+					d.GetSSafe(core, l)
+				}
+			}
+			if err := d.Check(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GetS-Safe never mutates directory state when it fails.
+func TestGetSSafeFailureIsPure(t *testing.T) {
+	d := NewDirectory(2)
+	d.GetX(0, line)
+	before := d.State(0, line)
+	for i := 0; i < 10; i++ {
+		if _, ok := d.GetSSafe(1, line); ok {
+			t.Fatal("should keep failing")
+		}
+	}
+	if d.State(0, line) != before {
+		t.Fatal("failed GetS-Safe mutated state")
+	}
+}

@@ -1,0 +1,613 @@
+// Package cpu implements the cycle-stepped out-of-order core of the paper's
+// Table 4: 192-entry ROB, 32-entry load and store queues, a tournament
+// branch predictor with BTB and RAS, 4-wide fetch/issue/commit, and — the
+// part that matters for CleanupSpec — full wrong-path execution: fetch
+// follows the predicted path, speculative loads really access and modify
+// the cache hierarchy, and a mispredicted branch squashes the wrong path
+// and hands the squashed loads to the active security policy.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/trace"
+)
+
+// Level re-exports memsys.Level for policy implementations.
+type Level = memsys.Level
+
+// SEFEInfo re-exports the cache SEFE for policy implementations.
+type SEFEInfo = cache.SEFE
+
+// Config configures the core.
+type Config struct {
+	ROBSize     int
+	LQSize      int
+	SQSize      int
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	// RedirectPenalty is the front-end refill delay after any squash —
+	// the fetch-to-execute depth of the pipeline — paid by secure and
+	// non-secure configurations alike. A policy's inflight-wait stall
+	// overlaps with it (the paper's Section 2.4: cleanup overhead is
+	// partly hidden by the pipeline drain incurred in any case).
+	RedirectPenalty arch.Cycle
+	Branch          branch.Config
+	CoreID          int
+	// ThreadID is the hardware thread within the core (SMT); it selects
+	// the L1 way partition and the speculative-install identity. Two
+	// Machines with the same CoreID, different ThreadIDs, and a shared
+	// Hierarchy form an SMT pair (drive them in lockstep with Step).
+	ThreadID int
+	// MaxCycles aborts a runaway simulation (0 = no limit).
+	MaxCycles arch.Cycle
+}
+
+// DefaultConfig returns the paper's Table 4 core.
+func DefaultConfig() Config {
+	return Config{
+		ROBSize:         192,
+		LQSize:          32,
+		SQSize:          32,
+		FetchWidth:      4,
+		IssueWidth:      4,
+		CommitWidth:     4,
+		RedirectPenalty: 16,
+		Branch:          branch.DefaultConfig(),
+	}
+}
+
+// robState is an instruction's execution state.
+type robState uint8
+
+const (
+	stDispatched robState = iota
+	stIssued
+	stDone
+)
+
+type consumer struct {
+	slot int32
+	seq  uint64
+	src  uint8 // 1 or 2
+}
+
+// ROBEntry is one reorder-buffer slot.
+type ROBEntry struct {
+	valid bool
+	seq   uint64
+	pc    arch.Addr
+	inst  isa.Inst
+	state robState
+
+	src1Ready, src2Ready bool
+	src1Val, src2Val     uint64
+	pendSrcs             int8
+	result               uint64
+	hasRd                bool
+	oldRat               int32
+	oldRatSeq            uint64 // seq of the previous producer (staleness check)
+	consumers            []consumer
+
+	// Control-flow bookkeeping.
+	isCtrl     bool
+	predTaken  bool
+	predTarget arch.Addr
+	predState  branch.PredState
+	snapshot   branch.Snapshot
+	hasPred    bool
+
+	// Memory bookkeeping.
+	lqIdx int32
+	sqIdx int32
+
+	doneAt       arch.Cycle
+	wakeDeferred bool // value ready but dependents not yet woken
+	mispredicted bool // resolved against its prediction
+}
+
+// LQEntry is one load-queue slot. Policies read and annotate it.
+type LQEntry struct {
+	valid   bool
+	slot    int32
+	Seq     uint64
+	PC      arch.Addr
+	Addr    arch.Addr
+	Line    arch.LineAddr
+	HasAddr bool
+
+	Issued    bool
+	Forwarded bool
+	Completed bool
+	Level     Level
+	SEFE      SEFEInfo
+	FillOrder uint64
+	Value     uint64
+
+	IssuedAt arch.Cycle
+	DoneAt   arch.Cycle
+
+	// IssuedMode is the LoadMode the load was actually issued with.
+	IssuedMode LoadMode
+
+	// Policy scratch state.
+	Visible        bool // no older unresolved control flow
+	UpdateLaunched bool
+	UpdateDoneAt   arch.Cycle
+	DelayedSafe    bool // GetS-Safe failed; waiting to be unsquashable
+	ValuePredicted bool // completed with a predicted value, not yet validated
+
+	txn *memsys.Txn
+}
+
+type sqEntry struct {
+	valid      bool
+	slot       int32
+	seq        uint64
+	addr       arch.Addr
+	value      uint64
+	addrReady  bool
+	valueReady bool
+}
+
+// Stats counts core events.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+
+	LoadsCommitted       uint64
+	StoresCommitted      uint64
+	BranchesResolved     uint64
+	Mispredicts          uint64
+	BranchesCommitted    uint64
+	MispredictsCommitted uint64
+
+	Squashes         uint64
+	MemOrderSquashes uint64
+	ValueMispredicts uint64
+	SquashedInsts    uint64
+	SquashedLoads    uint64
+	SquashedLoadNI   uint64 // not issued (or store-forwarded)
+	SquashedLoadL1H  uint64
+	SquashedLoadL2H  uint64
+	SquashedLoadL2M  uint64
+	SquashedInflight uint64 // issued, data not yet back: fill dropped
+	SquashedExecuted uint64 // completed with fills: needs cleanup ops
+
+	InflightWaitCycles arch.Cycle
+	CleanupOpCycles    arch.Cycle
+
+	LoadDelayStalls uint64 // loads held by LoadDelayed / GetS-Safe
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// fetchSlot is one pre-decoded instruction waiting for dispatch.
+type fetchSlot struct {
+	pc        arch.Addr
+	inst      isa.Inst
+	predTaken bool
+	predNext  arch.Addr
+	predState branch.PredState
+	snapshot  branch.Snapshot
+	hasPred   bool
+}
+
+// Machine is one simulated core bound to a program and a hierarchy.
+type Machine struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *isa.Memory
+	hier *memsys.Hierarchy
+	bp   *branch.Predictor
+	pol  Policy
+
+	now    arch.Cycle
+	halted bool
+
+	rob      []ROBEntry
+	robHead  int32
+	robTail  int32
+	robCount int32
+
+	lq      []LQEntry
+	lqHead  int32
+	lqTail  int32
+	lqCount int32
+
+	sq      []sqEntry
+	sqHead  int32
+	sqTail  int32
+	sqCount int32
+
+	rat  [isa.NumRegs]int32
+	regs [isa.NumRegs]uint64
+
+	fetchPC         arch.Addr
+	fetchBuf        []fetchSlot
+	fetchStallUntil arch.Cycle
+	fetchHalted     bool // a halt was fetched; only a squash resumes fetch
+
+	seqGen uint64
+
+	readyQ    seqHeap   // slots ready to begin execution
+	doneQ     eventHeap // scheduled completions
+	wakeQ     eventHeap // deferred dependent wakeups
+	memRetry  []int32   // LQ indices blocked on issue conditions
+	fenceSeqs []uint64  // uncommitted fences, ascending
+	ctrlSeqs  []uint64  // unresolved squashable control insts, ascending
+
+	lastCommitCycle arch.Cycle
+	cycleBase       arch.Cycle
+	committedBase   uint64
+
+	tracer *trace.Ring
+
+	Stats Stats
+}
+
+// New creates a machine. The memory image is initialized from the program.
+func New(cfg Config, prog *isa.Program, hier *memsys.Hierarchy, pol Policy) *Machine {
+	if cfg.ROBSize <= 0 || cfg.LQSize <= 0 || cfg.SQSize <= 0 {
+		panic("cpu: bad queue sizes")
+	}
+	if pol == nil {
+		pol = NonSecure{}
+	}
+	m := &Machine{
+		cfg:     cfg,
+		prog:    prog,
+		mem:     isa.NewMemory(),
+		hier:    hier,
+		bp:      branch.New(cfg.Branch),
+		pol:     pol,
+		rob:     make([]ROBEntry, cfg.ROBSize),
+		lq:      make([]LQEntry, cfg.LQSize),
+		sq:      make([]sqEntry, cfg.SQSize),
+		fetchPC: prog.Entry,
+	}
+	m.mem.LoadProgram(prog)
+	for i := range m.rat {
+		m.rat[i] = -1
+	}
+	return m
+}
+
+// Hierarchy returns the machine's memory system (for policies).
+func (m *Machine) Hierarchy() *memsys.Hierarchy { return m.hier }
+
+// Memory returns the functional data memory.
+func (m *Machine) Memory() *isa.Memory { return m.mem }
+
+// Now returns the current cycle.
+func (m *Machine) Now() arch.Cycle { return m.now }
+
+// CoreID returns the core's id in the hierarchy.
+func (m *Machine) CoreID() int { return m.cfg.CoreID }
+
+// ThreadID returns the hardware-thread id within the core.
+func (m *Machine) ThreadID() int { return m.cfg.ThreadID }
+
+// OwnerID returns the SMT installer identity (core, thread folded).
+func (m *Machine) OwnerID() int { return memsys.SMTID(m.cfg.CoreID, m.cfg.ThreadID) }
+
+// waiterID tags a load sequence number with the thread so MSHR waiter ids
+// from SMT siblings sharing the hierarchy never collide.
+func (m *Machine) waiterID(seq uint64) uint64 { return seq<<6 | uint64(m.cfg.ThreadID) }
+
+// Step advances the machine by exactly one cycle. SMT harnesses drive two
+// machines sharing a hierarchy in lockstep with alternating Step calls
+// (the shared hierarchy's Tick is idempotent per cycle).
+func (m *Machine) Step() {
+	if !m.halted {
+		m.step()
+	}
+}
+
+// Predictor exposes the branch predictor (tests and stats).
+func (m *Machine) Predictor() *branch.Predictor { return m.bp }
+
+// Halted reports whether the program committed a halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// AttachTracer starts recording structured events into r (nil detaches).
+// Tracing costs one nil-check per event site when detached.
+func (m *Machine) AttachTracer(r *trace.Ring) { m.tracer = r }
+
+// emit records a trace event if a tracer is attached.
+func (m *Machine) emit(k trace.Kind, seq uint64, pc arch.Addr, line arch.LineAddr, arg uint64) {
+	if m.tracer != nil {
+		m.tracer.Emit(trace.Event{Cycle: m.now, Kind: k, Seq: seq, PC: pc, Line: line, Arg: arg})
+	}
+}
+
+// ResetStats zeroes the core's statistics so that a measurement window can
+// exclude warmup (the simulated-time and committed-instruction baselines
+// shift; architectural and cache state are untouched). The caller usually
+// also resets the hierarchy's stats.
+func (m *Machine) ResetStats() {
+	m.cycleBase = m.now
+	m.committedBase += m.Stats.Committed
+	m.Stats = Stats{}
+}
+
+// Run simulates until the program halts, maxInstructions commit (within the
+// current measurement window), or the cycle limit is reached. It returns
+// the stats snapshot.
+func (m *Machine) Run(maxInstructions uint64) Stats {
+	limit := m.cfg.MaxCycles
+	for !m.halted && (maxInstructions == 0 || m.Stats.Committed < maxInstructions) {
+		if limit != 0 && m.now >= limit {
+			break
+		}
+		m.step()
+		if m.now-m.lastCommitCycle > 200000 {
+			panic(fmt.Sprintf("cpu: no commit for 200k cycles at cycle %d (pc=%v, robCount=%d, head=%+v)",
+				m.now, m.fetchPC, m.robCount, m.rob[m.robHead]))
+		}
+	}
+	m.Stats.Cycles = uint64(m.now - m.cycleBase)
+	return m.Stats
+}
+
+// DrainMemory advances simulated time until no memory transactions remain
+// in flight. Tests and attack harnesses call it after Run so that fills of
+// squashed in-flight loads either land (non-secure) or are dropped
+// (CleanupSpec) before cache state is inspected.
+func (m *Machine) DrainMemory() {
+	for m.hier.PendingLen() > 0 {
+		m.now++
+		m.hier.Tick(m.now)
+	}
+}
+
+// step advances one cycle.
+func (m *Machine) step() {
+	m.now++
+	m.hier.Tick(m.now)
+	m.processWakes()
+	m.processCompletions()
+	m.commit()
+	m.issue()
+	m.retryMem()
+	m.dispatch()
+	m.fetch()
+}
+
+// --- sequence helpers ---
+
+func (m *Machine) nextSeq() uint64 {
+	m.seqGen++
+	return m.seqGen
+}
+
+// hasOlderUnresolvedCtrl reports whether any squashable control-flow
+// instruction older than seq is still unresolved.
+func (m *Machine) hasOlderUnresolvedCtrl(seq uint64) bool {
+	return len(m.ctrlSeqs) > 0 && m.ctrlSeqs[0] < seq
+}
+
+func removeSeq(seqs []uint64, seq uint64) []uint64 {
+	for i, s := range seqs {
+		if s == seq {
+			return append(seqs[:i], seqs[i+1:]...)
+		}
+	}
+	return seqs
+}
+
+// truncSeqsAbove removes all seqs greater than bound.
+func truncSeqsAbove(seqs []uint64, bound uint64) []uint64 {
+	out := seqs[:0]
+	for _, s := range seqs {
+		if s <= bound {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// --- fetch ---
+
+// fetch fills the fetch buffer along the predicted path.
+func (m *Machine) fetch() {
+	if m.halted || m.fetchHalted || m.now < m.fetchStallUntil {
+		return
+	}
+	for len(m.fetchBuf) < m.cfg.FetchWidth*2 {
+		// Instruction cache: a miss stalls the front end.
+		if ready := m.hier.IFetch(m.cfg.CoreID, m.fetchPC, m.now); ready > m.now {
+			m.fetchStallUntil = ready
+			return
+		}
+		inst := m.prog.Fetch(m.fetchPC)
+		fs := fetchSlot{pc: m.fetchPC, inst: inst}
+		switch inst.Op {
+		case isa.OpBranch:
+			fs.snapshot = m.bp.Checkpoint()
+			fs.predState = m.bp.Predict(m.fetchPC)
+			fs.hasPred = true
+			fs.predTaken = fs.predState.Taken
+			if fs.predTaken {
+				fs.predNext = inst.Target
+			} else {
+				fs.predNext = m.fetchPC + 1
+			}
+		case isa.OpJump:
+			fs.predNext = inst.Target
+		case isa.OpCall:
+			fs.snapshot = m.bp.Checkpoint()
+			m.bp.Push(m.fetchPC + 1)
+			fs.predNext = inst.Target
+		case isa.OpRet:
+			fs.snapshot = m.bp.Checkpoint()
+			fs.predNext = m.bp.Pop()
+		default:
+			fs.predNext = m.fetchPC + 1
+		}
+		m.fetchBuf = append(m.fetchBuf, fs)
+		m.fetchPC = fs.predNext
+		m.Stats.Fetched++
+		if inst.Op == isa.OpHalt {
+			// A halt serializes the front end (like an exit syscall):
+			// nothing is fetched past it. If it was fetched on the
+			// wrong path, the squash redirect resumes fetching.
+			m.fetchHalted = true
+			break
+		}
+	}
+}
+
+// --- dispatch ---
+
+// dispatch renames and inserts fetched instructions into the ROB/LQ/SQ.
+func (m *Machine) dispatch() {
+	for n := 0; n < m.cfg.FetchWidth && len(m.fetchBuf) > 0; n++ {
+		if m.robCount >= int32(m.cfg.ROBSize) {
+			return
+		}
+		fs := m.fetchBuf[0]
+		op := fs.inst.Op
+		if op == isa.OpLoad && m.lqCount >= int32(m.cfg.LQSize) {
+			return
+		}
+		if op == isa.OpStore && m.sqCount >= int32(m.cfg.SQSize) {
+			return
+		}
+		m.fetchBuf = m.fetchBuf[1:]
+
+		slot := m.robTail
+		m.robTail = (m.robTail + 1) % int32(m.cfg.ROBSize)
+		m.robCount++
+		seq := m.nextSeq()
+		e := &m.rob[slot]
+		*e = ROBEntry{
+			valid: true, seq: seq, pc: fs.pc, inst: fs.inst,
+			state: stDispatched, oldRat: -1, lqIdx: -1, sqIdx: -1,
+			predTaken: fs.predTaken, predTarget: fs.predNext,
+			predState: fs.predState, snapshot: fs.snapshot, hasPred: fs.hasPred,
+			src1Ready: true, src2Ready: true,
+		}
+
+		// Source operands.
+		needs1, needs2 := srcNeeds(fs.inst)
+		if needs1 {
+			m.bindSource(slot, 1, fs.inst.Rs1)
+		}
+		if needs2 {
+			m.bindSource(slot, 2, fs.inst.Rs2)
+		}
+
+		// Destination rename.
+		rd := destReg(fs.inst)
+		if rd != 0 {
+			e.hasRd = true
+			e.oldRat = m.rat[rd]
+			if e.oldRat >= 0 {
+				e.oldRatSeq = m.rob[e.oldRat].seq
+			}
+			m.rat[rd] = slot
+		}
+
+		switch op {
+		case isa.OpLoad:
+			idx := m.lqTail
+			m.lqTail = (m.lqTail + 1) % int32(m.cfg.LQSize)
+			m.lqCount++
+			m.lq[idx] = LQEntry{valid: true, slot: slot, Seq: seq, PC: fs.pc}
+			e.lqIdx = idx
+		case isa.OpStore:
+			idx := m.sqTail
+			m.sqTail = (m.sqTail + 1) % int32(m.cfg.SQSize)
+			m.sqCount++
+			m.sq[idx] = sqEntry{valid: true, slot: slot, seq: seq}
+			e.sqIdx = idx
+		case isa.OpFence:
+			m.fenceSeqs = append(m.fenceSeqs, seq)
+		case isa.OpBranch, isa.OpRet:
+			e.isCtrl = true
+			m.ctrlSeqs = append(m.ctrlSeqs, seq)
+		}
+
+		if e.pendSrcs == 0 {
+			m.pushReady(slot, seq)
+		}
+	}
+}
+
+// bindSource resolves one source register at rename time.
+func (m *Machine) bindSource(slot int32, which uint8, r isa.Reg) {
+	e := &m.rob[slot]
+	if r == 0 {
+		m.setSrc(e, which, 0)
+		return
+	}
+	p := m.rat[r]
+	if p < 0 {
+		m.setSrc(e, which, m.regs[r])
+		return
+	}
+	pe := &m.rob[p]
+	if pe.state == stDone && !pe.wakeDeferred {
+		m.setSrc(e, which, pe.result)
+		return
+	}
+	// Wait for the producer.
+	if which == 1 {
+		e.src1Ready = false
+	} else {
+		e.src2Ready = false
+	}
+	e.pendSrcs++
+	pe.consumers = append(pe.consumers, consumer{slot: slot, seq: e.seq, src: which})
+}
+
+func (m *Machine) setSrc(e *ROBEntry, which uint8, v uint64) {
+	if which == 1 {
+		e.src1Val = v
+		e.src1Ready = true
+	} else {
+		e.src2Val = v
+		e.src2Ready = true
+	}
+}
+
+// srcNeeds returns which register sources an instruction reads.
+func srcNeeds(in isa.Inst) (rs1, rs2 bool) {
+	switch in.Op {
+	case isa.OpALU:
+		return true, !in.UseImm
+	case isa.OpLoad, isa.OpCLFlush:
+		return true, false
+	case isa.OpStore, isa.OpBranch:
+		return true, true
+	case isa.OpRet:
+		return true, false // link register value
+	}
+	return false, false
+}
+
+// destReg returns the destination register (0 = none; writes to r0 are
+// discarded, making r0 a hard-wired zero).
+func destReg(in isa.Inst) isa.Reg {
+	switch in.Op {
+	case isa.OpALU, isa.OpLoad, isa.OpRdCycle:
+		return in.Rd
+	case isa.OpCall:
+		return isa.Reg(31) // link register
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestClosePageConstantLatency(t *testing.T) {
+	d := New(DefaultConfig())
+	l := arch.LineAddr(100)
+	first := d.AccessLatency(l, false)
+	second := d.AccessLatency(l, false) // same row, immediately after
+	if first != second || first != 100 {
+		t.Fatalf("close-page latencies %d, %d; want constant 100", first, second)
+	}
+	if d.Stats.Reads != 2 {
+		t.Fatalf("reads %d", d.Stats.Reads)
+	}
+	if d.Stats.RowHits != 0 {
+		t.Fatal("close-page must not track row hits")
+	}
+}
+
+func TestOpenPageRowHitFaster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = OpenPage
+	d := New(cfg)
+	l := arch.LineAddr(0)
+	miss := d.AccessLatency(l, false)
+	hit := d.AccessLatency(l+1, false) // same 8KB row
+	if hit >= miss {
+		t.Fatalf("row hit %d not faster than miss %d", hit, miss)
+	}
+	if d.Stats.RowHits != 1 || d.Stats.RowMisses != 1 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+	// A different row in the same bank closes it.
+	farRow := arch.LineAddr(uint64(cfg.RowBytes) * uint64(cfg.Banks) / arch.LineBytes)
+	if lat := d.AccessLatency(farRow, false); lat != miss {
+		t.Fatalf("conflicting row latency %d, want %d", lat, miss)
+	}
+}
+
+func TestOpenPageIsATimingChannel(t *testing.T) {
+	// Documents why the paper mandates close-page: a co-located observer
+	// can tell whether the victim touched its row.
+	cfg := DefaultConfig()
+	cfg.Policy = OpenPage
+	d := New(cfg)
+	victim := arch.LineAddr(0)
+	probe := arch.LineAddr(1) // same row
+	d.AccessLatency(victim, false)
+	if lat := d.AccessLatency(probe, false); lat == cfg.RTCycles {
+		t.Fatal("open-page should have leaked via a row hit")
+	}
+	// Close-page: no leak.
+	d2 := New(DefaultConfig())
+	d2.AccessLatency(victim, false)
+	if lat := d2.AccessLatency(probe, false); lat != 100 {
+		t.Fatal("close-page must not leak")
+	}
+}
+
+func TestWriteCounts(t *testing.T) {
+	d := New(DefaultConfig())
+	d.AccessLatency(arch.LineAddr(5), true)
+	if d.Stats.Writes != 1 || d.Stats.Reads != 0 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+	d.ResetStats()
+	if d.Stats.Writes != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestZeroBanksDefaulted(t *testing.T) {
+	d := New(Config{RTCycles: 10})
+	if got := d.AccessLatency(arch.LineAddr(1), false); got != 10 {
+		t.Fatalf("latency %d", got)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallRunner keeps experiment tests fast.
+func smallRunner() *Runner {
+	r := NewRunner(Options{Instructions: 15_000, SpectreIterations: 4, MTSteps: 3_000})
+	r.Quiet = true
+	return r
+}
+
+func TestTable2MitigationsVerified(t *testing.T) {
+	rep := smallRunner().Table2()
+	s := rep.String()
+	if strings.Contains(s, "NO") {
+		t.Fatalf("a coherence mitigation failed verification:\n%s", s)
+	}
+}
+
+func TestStorageReport(t *testing.T) {
+	rep := smallRunner().Storage()
+	if !strings.Contains(rep.String(), "800") {
+		t.Fatalf("unexpected storage total:\n%s", rep)
+	}
+}
+
+func TestByIDDispatch(t *testing.T) {
+	r := smallRunner()
+	for _, id := range []string{"table2", "storage"} {
+		rep, err := r.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ID != id {
+			t.Fatalf("ByID(%q) returned %q", id, rep.ID)
+		}
+	}
+	if _, err := r.ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestMemoizationReusesRuns(t *testing.T) {
+	r := smallRunner()
+	r.run("gcc", "nonsecure", nil, "")
+	n := len(r.memo)
+	r.run("gcc", "nonsecure", nil, "")
+	if len(r.memo) != n {
+		t.Fatal("identical run not memoized")
+	}
+	r.run("gcc", "cleanupspec", nil, "")
+	if len(r.memo) != n+1 {
+		t.Fatal("distinct run not recorded")
+	}
+}
+
+func TestFigure9ReportShape(t *testing.T) {
+	rep := smallRunner().Figure9()
+	md := rep.Markdown()
+	if !strings.Contains(md, "dedup") || !strings.Contains(md, "AVG") {
+		t.Fatalf("Figure 9 report missing rows:\n%s", md)
+	}
+}
+
+func TestFigure11ReportVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spectre runs")
+	}
+	rep := smallRunner().Figure11()
+	s := rep.String()
+	if !strings.Contains(s, "NonSecure: LEAKED") {
+		t.Fatalf("non-secure PoC did not leak:\n%s", s)
+	}
+	if !strings.Contains(s, "CleanupSpec: no leak") {
+		t.Fatalf("CleanupSpec PoC leaked:\n%s", s)
+	}
+}
+
+func TestRendering(t *testing.T) {
+	rep := smallRunner().Storage()
+	if rep.String() == "" || rep.Markdown() == "" {
+		t.Fatal("empty rendering")
+	}
+	if !strings.HasPrefix(rep.Markdown(), "## storage") {
+		t.Fatalf("markdown header:\n%s", rep.Markdown())
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment end to end at a tiny window
+// — the whole-harness regression that catches panics and empty tables.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness pass")
+	}
+	r := NewRunner(Options{Instructions: 8_000, SpectreIterations: 3, MTSteps: 2_000})
+	r.Quiet = true
+	reports := r.All()
+	if len(reports) != 15 {
+		t.Fatalf("%d reports, want 15", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.ID == "" || rep.Title == "" {
+			t.Errorf("report missing metadata: %+v", rep)
+		}
+		if len(rep.Tables) == 0 {
+			t.Errorf("%s: no tables", rep.ID)
+		}
+		if rep.String() == "" || rep.Markdown() == "" {
+			t.Errorf("%s: empty rendering", rep.ID)
+		}
+	}
+}

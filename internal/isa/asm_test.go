@@ -1,0 +1,141 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	prog, err := Assemble("t", `
+		; a tiny kernel
+		.data 0x1000 7
+		li   r1, 0x1000
+		ld   r2, [r1]        # load the 7
+		addi r3, r2, 35
+		st   [r1+8], r3
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(prog)
+	it.Run(0)
+	if it.Reg(3) != 42 {
+		t.Fatalf("r3 = %d", it.Reg(3))
+	}
+	if it.Memory().Read64(0x1008) != 42 {
+		t.Fatal("store missing")
+	}
+}
+
+func TestAssembleControlFlow(t *testing.T) {
+	prog, err := Assemble("t", `
+		li r1, 3
+		li r9, 0
+	loop:
+		addi r9, r9, 10
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		call fn
+		halt
+	fn:
+		addi r9, r9, 1
+		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(prog)
+	it.Run(0)
+	if it.Reg(9) != 31 {
+		t.Fatalf("r9 = %d", it.Reg(9))
+	}
+}
+
+func TestAssembleEquivalentToBuilder(t *testing.T) {
+	asm := MustAssemble("a", `
+		li  r1, 5
+		mul r2, r1, r1
+		shri r3, r2, 1
+		jmp end
+		nop
+	end:
+		halt
+	`)
+	b := NewBuilder("b")
+	b.Li(1, 5)
+	b.Alu(AluMul, 2, 1, 1)
+	b.AluI(AluShr, 3, 2, 1)
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	want := b.Build()
+	if len(asm.Code) != len(want.Code) {
+		t.Fatalf("length %d vs %d", len(asm.Code), len(want.Code))
+	}
+	for i := range want.Code {
+		if asm.Code[i] != want.Code[i] {
+			t.Fatalf("instruction %d: %+v vs %+v", i, asm.Code[i], want.Code[i])
+		}
+	}
+}
+
+func TestAssembleMemOperandForms(t *testing.T) {
+	prog, err := Assemble("t", `
+		.data 0x2000 11
+		li r1, 0x2010
+		ld r2, [r1-16]
+		clflush [r1-16]
+		fence
+		rdcycle r4
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(prog)
+	it.Run(0)
+	if it.Reg(2) != 11 {
+		t.Fatalf("r2 = %d", it.Reg(2))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"li r99, 1",
+		"li r1",
+		"ld r1, r2", // not a memory operand
+		"st [r1], r2, extra\nhalt\nbadline r",
+		"beq r1, r2",    // missing label
+		"jmp",           // missing label
+		".data 5",       // missing value
+		"jmp nowhere\n", // undefined label (caught at Build)
+		"dup:\ndup:\nhalt",
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+	if !strings.Contains(errOf(Assemble("bad", "li r1")), "bad:1") {
+		t.Error("error must carry file:line")
+	}
+}
+
+func errOf(_ *Program, err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustAssemble("bad", "bogus")
+}

@@ -1,0 +1,178 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{CondEQ, 5, 5, true},
+		{CondEQ, 5, 6, false},
+		{CondNE, 5, 6, true},
+		{CondLTU, 1, 2, true},
+		{CondLTU, 2, 1, false},
+		{CondGEU, 2, 2, true},
+		{CondLT, ^uint64(0) /* -1 */, 0, true}, // signed
+		{CondLTU, ^uint64(0), 0, false},        // unsigned
+		{CondGE, 0, ^uint64(0) /* -1 */, true}, // signed
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("cond %d (%d,%d) = %v, want %v", c.c, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestALUEval(t *testing.T) {
+	mk := func(k ALUKind) Inst { return Inst{Op: OpALU, Alu: k} }
+	if mk(AluAdd).EvalALU(2, 3) != 5 {
+		t.Error("add")
+	}
+	if mk(AluSub).EvalALU(2, 3) != ^uint64(0) {
+		t.Error("sub wrap")
+	}
+	if mk(AluAnd).EvalALU(0b1100, 0b1010) != 0b1000 {
+		t.Error("and")
+	}
+	if mk(AluOr).EvalALU(0b1100, 0b1010) != 0b1110 {
+		t.Error("or")
+	}
+	if mk(AluXor).EvalALU(0b1100, 0b1010) != 0b0110 {
+		t.Error("xor")
+	}
+	if mk(AluShl).EvalALU(1, 4) != 16 {
+		t.Error("shl")
+	}
+	if mk(AluShr).EvalALU(16, 4) != 1 {
+		t.Error("shr")
+	}
+	if mk(AluMul).EvalALU(6, 7) != 42 {
+		t.Error("mul")
+	}
+	imm := Inst{Op: OpALU, Alu: AluAdd, Imm: 10, UseImm: true}
+	if imm.EvalALU(5, 999) != 15 {
+		t.Error("imm operand ignored")
+	}
+	if mk(AluMix).EvalALU(1, 2) == 3 {
+		t.Error("mix must scramble")
+	}
+	if mk(AluMix).EvalALU(1, 2) != mk(AluMix).EvalALU(2, 1) {
+		t.Error("mix must be deterministic in a+b")
+	}
+}
+
+func TestALULatency(t *testing.T) {
+	if AluAdd.Latency() != 1 || AluMul.Latency() != 3 || AluMix.Latency() != 3 {
+		t.Error("latencies wrong")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() || !OpCLFlush.IsMem() || OpALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !OpBranch.IsCtrl() || !OpRet.IsCtrl() || OpLoad.IsCtrl() {
+		t.Error("IsCtrl wrong")
+	}
+	if OpHalt.String() != "halt" || Op(200).String() == "" {
+		t.Error("String wrong")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.Read64(0x1000) != 0 {
+		t.Fatal("unwritten memory must read zero")
+	}
+	m.Write64(0x1000, 42)
+	if m.Read64(0x1000) != 42 {
+		t.Fatal("readback failed")
+	}
+	// Different pages.
+	m.Write64(0x100000, 7)
+	if m.Read64(0x100000) != 7 || m.Read64(0x1000) != 42 {
+		t.Fatal("page isolation failed")
+	}
+}
+
+func TestMemoryProperty(t *testing.T) {
+	m := NewMemory()
+	f := func(a uint32, v uint64) bool {
+		addr := arch.Addr(a) &^ 7
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFetchPastEndIsHalt(t *testing.T) {
+	p := &Program{Code: []Inst{{Op: OpNop}}}
+	if p.Fetch(0).Op != OpNop {
+		t.Fatal("in-range fetch wrong")
+	}
+	if p.Fetch(1).Op != OpHalt || p.Fetch(1000).Op != OpHalt {
+		t.Fatal("out-of-range fetch must be Halt")
+	}
+}
+
+func TestBuilderLabelsAndFixups(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(1, 5)
+	b.Label("loop")
+	b.AddI(1, 1, -1)
+	b.Br(CondNE, 1, 0, "loop")
+	b.Jmp("end") // forward reference
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p := b.Build()
+	if p.Code[2].Target != 1 {
+		t.Fatalf("backward target %d, want 1", p.Code[2].Target)
+	}
+	if p.Code[3].Target != 5 {
+		t.Fatalf("forward target %d, want 5", p.Code[3].Target)
+	}
+}
+
+func TestBuilderUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	b.Build()
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestBuilderInitData(t *testing.T) {
+	b := NewBuilder("t")
+	b.InitData(0x40, 9)
+	b.Halt()
+	p := b.Build()
+	m := NewMemory()
+	m.LoadProgram(p)
+	if m.Read64(0x40) != 9 {
+		t.Fatal("InitData not loaded")
+	}
+}

@@ -1,0 +1,92 @@
+// Package policy holds the simpler delay-based baselines the paper's
+// related-work section discusses (Context-Sensitive Fencing, Conditional
+// Speculation, NDA/SpecShield-style delaying): speculative loads are held
+// until they are unsquashable. It exists for ablation comparisons against
+// CleanupSpec's Undo approach.
+package policy
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cpu"
+)
+
+// Delay holds every speculative load until all older control flow has
+// resolved, the strictest delay-based mitigation.
+type Delay struct{}
+
+// Name implements cpu.Policy.
+func (Delay) Name() string { return "delay-all" }
+
+// Mode implements cpu.Policy.
+func (Delay) Mode(m *cpu.Machine, e *cpu.LQEntry, spec bool) cpu.LoadMode {
+	if spec {
+		return cpu.LoadDelayed
+	}
+	return cpu.LoadNormal
+}
+
+// DeferWakeupUntilVisible implements cpu.Policy.
+func (Delay) DeferWakeupUntilVisible() bool { return false }
+
+// OnLoadUnsquashable implements cpu.Policy.
+func (Delay) OnLoadUnsquashable(*cpu.Machine, *cpu.LQEntry) {}
+
+// OnLoadNearCommit implements cpu.Policy.
+func (Delay) OnLoadNearCommit(*cpu.Machine, *cpu.LQEntry) {}
+
+// CommitWait implements cpu.Policy.
+func (Delay) CommitWait(*cpu.Machine, *cpu.LQEntry) arch.Cycle { return 0 }
+
+// OnLoadCommitted implements cpu.Policy.
+func (Delay) OnLoadCommitted(*cpu.Machine, *cpu.LQEntry) {}
+
+// OnSquash implements cpu.Policy: delayed loads never touched the cache.
+func (Delay) OnSquash(*cpu.Machine, []cpu.SquashedLoad) cpu.SquashCost {
+	return cpu.SquashCost{}
+}
+
+// DropSquashedInflight implements cpu.Policy.
+func (Delay) DropSquashedInflight() bool { return false }
+
+// DelayOnMiss is the Conditional Speculation baseline (Li et al., HPCA
+// 2019): speculative loads that hit the L1 proceed (a hit \"leaks\" only
+// replacement state), speculative misses are delayed until unsquashable.
+// The paper positions CleanupSpec as both faster and more complete than
+// such filters (Section 7.3.2).
+type DelayOnMiss struct{}
+
+// Name implements cpu.Policy.
+func (DelayOnMiss) Name() string { return "delay-on-miss" }
+
+// Mode implements cpu.Policy.
+func (DelayOnMiss) Mode(m *cpu.Machine, e *cpu.LQEntry, spec bool) cpu.LoadMode {
+	if spec {
+		return cpu.LoadDelayOnMiss
+	}
+	return cpu.LoadNormal
+}
+
+// DeferWakeupUntilVisible implements cpu.Policy.
+func (DelayOnMiss) DeferWakeupUntilVisible() bool { return false }
+
+// OnLoadUnsquashable implements cpu.Policy.
+func (DelayOnMiss) OnLoadUnsquashable(*cpu.Machine, *cpu.LQEntry) {}
+
+// OnLoadNearCommit implements cpu.Policy.
+func (DelayOnMiss) OnLoadNearCommit(*cpu.Machine, *cpu.LQEntry) {}
+
+// CommitWait implements cpu.Policy.
+func (DelayOnMiss) CommitWait(*cpu.Machine, *cpu.LQEntry) arch.Cycle { return 0 }
+
+// OnLoadCommitted implements cpu.Policy.
+func (DelayOnMiss) OnLoadCommitted(*cpu.Machine, *cpu.LQEntry) {}
+
+// OnSquash implements cpu.Policy: delayed misses never touched the cache;
+// speculative hits changed no tag state (the L1 uses its normal replacement
+// policy here — the filter's known residual channel).
+func (DelayOnMiss) OnSquash(*cpu.Machine, []cpu.SquashedLoad) cpu.SquashCost {
+	return cpu.SquashCost{}
+}
+
+// DropSquashedInflight implements cpu.Policy.
+func (DelayOnMiss) DropSquashedInflight() bool { return false }

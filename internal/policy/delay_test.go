@@ -1,0 +1,181 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/testprog"
+)
+
+func TestDelayPreventsWrongPathAccess(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 2_000_000
+	hcfg := testprog.SmallConfig()
+	hcfg.L1.Repl = cache.ReplLRU
+	h := memsys.New(hcfg)
+	m := cpu.New(cfg, testprog.WrongPathExecuted(), h, Delay{})
+	m.Run(0)
+	m.DrainMemory()
+	if m.Stats.Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	// The wrong-path load was delayed and never accessed the cache.
+	if _, hit := h.L1(0).Probe(testprog.AddrWrong.Line()); hit {
+		t.Fatal("delayed policy must not let the wrong-path load touch the cache")
+	}
+	if m.Stats.LoadDelayStalls == 0 {
+		t.Fatalf("stats: %+v", m.Stats)
+	}
+}
+
+func TestDelaySlowerThanNonSecure(t *testing.T) {
+	run := func(pol cpu.Policy) uint64 {
+		cfg := cpu.DefaultConfig()
+		cfg.MaxCycles = 10_000_000
+		h := memsys.New(memsys.DefaultConfig(1))
+		m := cpu.New(cfg, testprog.SpecPointerChase(200, 0x20000), h, pol)
+		return m.Run(0).Cycles
+	}
+	base := run(cpu.NonSecure{})
+	delayed := run(Delay{})
+	if delayed <= base {
+		t.Fatalf("delay-all (%d) should be slower than non-secure (%d)", delayed, base)
+	}
+}
+
+func TestDelayOnMissAllowsHitsBlocksMisses(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 2_000_000
+	hcfg := testprog.SmallConfig()
+	hcfg.L1.Repl = cache.ReplLRU
+	h := memsys.New(hcfg)
+	m := cpu.New(cfg, testprog.WrongPathExecuted(), h, DelayOnMiss{})
+	m.Run(0)
+	m.DrainMemory()
+	if m.Stats.Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	// The wrong-path load misses the L1 (it is L2-resident), so the
+	// filter must have delayed it: no L1 install.
+	if _, hit := h.L1(0).Probe(testprog.AddrWrong.Line()); hit {
+		t.Fatal("delay-on-miss must block the wrong-path L1 miss")
+	}
+	if m.Stats.LoadDelayStalls == 0 {
+		t.Fatalf("stats: %+v", m.Stats)
+	}
+}
+
+func TestDelayOnMissCheaperThanDelayAll(t *testing.T) {
+	run := func(pol cpu.Policy) uint64 {
+		cfg := cpu.DefaultConfig()
+		cfg.MaxCycles = 10_000_000
+		h := memsys.New(memsys.DefaultConfig(1))
+		m := cpu.New(cfg, testprog.SpecPointerChase(200, 0x20000), h, pol)
+		return m.Run(0).Cycles
+	}
+	om := run(DelayOnMiss{})
+	all := run(Delay{})
+	if om > all {
+		t.Fatalf("delay-on-miss (%d) slower than delay-all (%d)", om, all)
+	}
+}
+
+func TestValuePredictMispredictionRepair(t *testing.T) {
+	// The table is empty, so the prediction for the spec load is 0; the
+	// actual value is 5. The dependent add consumes the wrong value and
+	// must be squashed and recomputed after validation.
+	b := isa.NewBuilder("vp-repair")
+	b.InitData(0x9000, 1) // slow branch condition
+	b.InitData(0x6000, 5) // the value-predicted load's data
+	b.Li(3, 0x9000)
+	b.Load(4, 3, 0) // ~110 cycles
+	b.Br(isa.CondEQ, 4, 0, "skip")
+	b.Li(5, 0x6000)
+	b.Load(6, 5, 0) // speculative L1 miss: value-predicted as 0
+	b.AddI(7, 6, 1) // dependent: must end up 6, not 1
+	b.Halt()
+	b.Label("skip")
+	b.Halt()
+
+	v := NewValuePredict()
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 2_000_000
+	h := memsys.New(memsys.DefaultConfig(1))
+	m := cpu.New(cfg, b.Build(), h, v)
+	m.Run(0)
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	if v.Stats.Predictions == 0 {
+		t.Fatalf("no predictions made: %+v", v.Stats)
+	}
+	if v.Stats.Mispredicts == 0 {
+		t.Fatalf("expected a value misprediction: %+v", v.Stats)
+	}
+	if m.Reg(6) != 5 || m.Reg(7) != 6 {
+		t.Fatalf("r6=%d r7=%d, want 5 and 6", m.Reg(6), m.Reg(7))
+	}
+	if m.Stats.ValueMispredicts == 0 {
+		t.Fatalf("machine stats: %+v", m.Stats)
+	}
+}
+
+func TestValuePredictBlocksWrongPathMiss(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 2_000_000
+	hcfg := testprog.SmallConfig()
+	hcfg.L1.Repl = cache.ReplLRU
+	h := memsys.New(hcfg)
+	m := cpu.New(cfg, testprog.WrongPathExecuted(), h, NewValuePredict())
+	m.Run(0)
+	m.DrainMemory()
+	if m.Stats.Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	// The wrong-path L1 miss was value-predicted, never accessing the
+	// cache; its validation never launched because it was squashed first.
+	if _, hit := h.L1(0).Probe(testprog.AddrWrong.Line()); hit {
+		t.Fatal("value-predict must not let the wrong-path miss touch the cache")
+	}
+}
+
+func TestValuePredictCorrectPredictionIsCheap(t *testing.T) {
+	// A strided loop over cold lines that all hold the same value: the
+	// last-value table locks onto 7 after the first commit, and later
+	// speculative misses predict correctly and validate cleanly.
+	b := isa.NewBuilder("vp-train")
+	for i := 0; i < 30; i++ {
+		b.InitData(arch.Addr(0x9000+i*64), 7)
+	}
+	b.Li(1, 30)
+	b.Li(2, 0x9000)
+	b.Li(9, 0)
+	b.Label("loop")
+	// Data-dependent always-true branch keeps the next load speculative.
+	b.Load(3, 2, 0)
+	b.Add(9, 9, 3)
+	b.AddI(2, 2, 64)
+	b.Br(isa.CondGEU, 3, 0, "cont")
+	b.Nop()
+	b.Label("cont")
+	b.AddI(1, 1, -1)
+	b.Br(isa.CondNE, 1, 0, "loop")
+	b.Halt()
+
+	v := NewValuePredict()
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 2_000_000
+	h := memsys.New(memsys.DefaultConfig(1))
+	m := cpu.New(cfg, b.Build(), h, v)
+	m.Run(0)
+	if m.Reg(9) != 30*7 {
+		t.Fatalf("sum %d, want %d", m.Reg(9), 30*7)
+	}
+	if v.Stats.Correct == 0 {
+		t.Fatalf("expected correct predictions after training: %+v", v.Stats)
+	}
+}

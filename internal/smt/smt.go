@@ -1,0 +1,78 @@
+// Package smt drives two hardware threads — two cpu.Machines with the same
+// core id, distinct thread ids, and one shared memory hierarchy — in
+// lockstep. It exists to demonstrate the paper's SMT threat model
+// (Section 3.6 / 4a): a sibling thread sharing the L1 may probe the cache
+// *during* the speculation window, and CleanupSpec answers with dummy-miss
+// servicing of speculatively installed lines plus NoMo-style way
+// partitioning against eviction observation.
+package smt
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+)
+
+// Pair is a 2-way SMT core: threads A (id 0) and B (id 1).
+type Pair struct {
+	A, B *cpu.Machine
+	Hier *memsys.Hierarchy
+}
+
+// Config bundles the pair's construction parameters.
+type Config struct {
+	Hierarchy memsys.Config
+	Core      cpu.Config
+	ProgA     *isa.Program
+	ProgB     *isa.Program
+	PolA      cpu.Policy
+	PolB      cpu.Policy
+}
+
+// NewPair builds the SMT pair. The hierarchy is shared; each thread gets
+// its own architectural state, load/store queues, and predictor (a
+// simplification — real SMT shares the predictor arrays — that does not
+// affect the cache-channel experiments this package exists for).
+func NewPair(cfg Config) *Pair {
+	return newDuo(cfg, 0, 0, 0, 1)
+}
+
+// NewCrossCorePair builds two full pipelines on *different cores* sharing
+// the L2 and directory — the paper's CrossCore adversary model (Section 4).
+// The hierarchy configuration must have NumCores >= 2.
+func NewCrossCorePair(cfg Config) *Pair {
+	return newDuo(cfg, 0, 1, 0, 0)
+}
+
+func newDuo(cfg Config, coreA, coreB, threadA, threadB int) *Pair {
+	h := memsys.New(cfg.Hierarchy)
+	// The window experiments assume steady state: code is warm (cold
+	// I-cache misses would shift the carefully aligned probe windows).
+	h.PrewarmICache(coreA, len(cfg.ProgA.Code))
+	h.PrewarmICache(coreB, len(cfg.ProgB.Code))
+	ca := cfg.Core
+	ca.CoreID = coreA
+	ca.ThreadID = threadA
+	cb := cfg.Core
+	cb.CoreID = coreB
+	cb.ThreadID = threadB
+	return &Pair{
+		A:    cpu.New(ca, cfg.ProgA, h, cfg.PolA),
+		B:    cpu.New(cb, cfg.ProgB, h, cfg.PolB),
+		Hier: h,
+	}
+}
+
+// Run steps both threads in lockstep until both halt or the cycle budget
+// runs out. It reports whether both halted.
+func (p *Pair) Run(maxCycles arch.Cycle) bool {
+	for c := arch.Cycle(0); c < maxCycles; c++ {
+		p.A.Step()
+		p.B.Step()
+		if p.A.Halted() && p.B.Halted() {
+			return true
+		}
+	}
+	return p.A.Halted() && p.B.Halted()
+}

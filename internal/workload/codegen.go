@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/xrand"
+)
+
+// Memory layout of generated programs.
+const (
+	hotBase  = arch.Addr(0x1000_0000) // small, L1-resident array
+	coldBase = arch.Addr(0x2000_0000) // footprint-sized array
+	hotBytes = 4 * kb
+)
+
+// Register conventions inside generated code.
+const (
+	rCounter = isa.Reg(10) // loop iteration counter
+	rHash    = isa.Reg(11) // per-block index hash
+	rIdx     = isa.Reg(12)
+	rAddr    = isa.Reg(13)
+	rVal     = isa.Reg(14) // last loaded value
+	rBr1     = isa.Reg(15)
+	rBr2     = isa.Reg(16)
+	rNear    = isa.Reg(17) // same-line companion value
+	rHot     = isa.Reg(20)
+	rCold    = isa.Reg(21)
+)
+
+// Build synthesizes the workload program for a profile.
+//
+// The program is an infinite loop of Blocks basic blocks. Each block hashes
+// the loop counter into pseudo-random indices, performs LoadsPerBlock loads
+// split between a hot (L1-resident) array and a cold footprint-sized array
+// (calibrated to TargetL1Miss), occasionally stores, and ends in a branch.
+// A fraction of the blocks (calibrated to TargetMispredict) branch on a
+// hash of the last loaded value — unlearnable by the predictor and resolved
+// only when the load's data returns, which opens the speculation window in
+// which wrong-path loads run. Both branch paths contain loads, so
+// mispredicted blocks put real transient state into the caches.
+func (p Profile) Build() *isa.Program {
+	rng := xrand.New(p.Seed)
+	b := isa.NewBuilder(p.Name)
+
+	// Hot array holds pseudo-random data (branch entropy).
+	for off := 0; off < hotBytes; off += 8 {
+		b.InitData(hotBase+arch.Addr(off), rng.Uint64())
+	}
+
+	coldMask := int64(p.FootprintBytes-1) &^ 63 // line-aligned indices
+	hotMask := int64(hotBytes-1) &^ 7
+
+	// Calibration. Cold-load and random-branch slots are assigned with a
+	// Bresenham accumulator instead of random draws: with only a few
+	// dozen static slots, random assignment quantizes too coarsely to
+	// hit Table 3's per-workload targets.
+	// Each primary load is followed by a same-line companion load
+	// (spatial locality, as in real code): roughly half the L1 accesses
+	// are companion hits, so the cold probability is scaled accordingly.
+	coldProb := p.TargetL1Miss * 2.25
+	if coldProb > 0.95 {
+		coldProb = 0.95
+	}
+	// Random-direction branches mispredict ~50% of the time.
+	randFrac := 2 * p.TargetMispredict
+	if randFrac > 0.95 {
+		randFrac = 0.95
+	}
+	coldAcc := 0.5 // start mid-step so tiny fractions round fairly
+	nextCold := func() bool {
+		coldAcc += coldProb
+		if coldAcc >= 1 {
+			coldAcc--
+			return true
+		}
+		return false
+	}
+	randAcc := 0.5
+	nextRand := func() bool {
+		randAcc += randFrac
+		if randAcc >= 1 {
+			randAcc--
+			return true
+		}
+		return false
+	}
+
+	emitLoad := func(blk, k int) {
+		sh := int64((k*7 + blk*3) % 24)
+		b.AluI(isa.AluShr, rIdx, rHash, sh)
+		if nextCold() {
+			b.AluI(isa.AluAnd, rIdx, rIdx, coldMask)
+			b.Add(rAddr, rCold, rIdx)
+		} else {
+			b.AluI(isa.AluAnd, rIdx, rIdx, hotMask)
+			b.Add(rAddr, rHot, rIdx)
+		}
+		b.Load(rVal, rAddr, 0)
+		// Dependent companion access to the same line (spatial
+		// locality through a pointer-style dependence, as in real
+		// code): it issues only after the primary load's data returns,
+		// so it hits the line the primary's fill installed — unless
+		// the fill never happened because the primary was issued
+		// invisibly (the Redo approach's repeated-miss cost).
+		b.AluI(isa.AluAnd, rNear, rVal, 0) // dependent zero
+		b.Add(rNear, rNear, rAddr)
+		b.Load(rNear, rNear, 8)
+	}
+
+	b.Li(rCounter, 0)
+	b.Li(rHot, int64(hotBase))
+	b.Li(rCold, int64(coldBase))
+	b.Label("loop")
+	b.AddI(rCounter, rCounter, 1)
+	for blk := 0; blk < p.Blocks; blk++ {
+		salt := int64(blk)*2654435761 + int64(rng.Uint32())
+		b.Mix(rHash, rCounter, salt)
+		for k := 0; k < p.LoadsPerBlock; k++ {
+			emitLoad(blk, k)
+		}
+		if p.StoreEvery > 0 && blk%p.StoreEvery == 0 {
+			// Store into the last loaded line (hits).
+			b.Store(rAddr, 8, rVal)
+		}
+		alt := fmt.Sprintf("alt_%d", blk)
+		join := fmt.Sprintf("join_%d", blk)
+		if nextRand() {
+			// Data-dependent, effectively random branch: resolves
+			// only when the load's value arrives.
+			b.Alu(isa.AluMix, rBr1, rVal, rHash)
+			b.AluI(isa.AluAnd, rBr2, rBr1, 1)
+			b.Br(isa.CondNE, rBr2, 0, alt)
+			emitLoad(blk, 7)
+			b.Jmp(join)
+			b.Label(alt)
+			emitLoad(blk, 8)
+			b.Label(join)
+		} else {
+			// Biased branch: always taken (unsigned >= 0) and
+			// quickly learned — but data-dependent, resolving only
+			// when the block's load returns. This is what makes the
+			// common case realistic: almost all loads issue while
+			// older branches are unresolved, i.e. speculatively
+			// (the paper observes "a large majority of loads are
+			// issued speculatively", Section 2.3.1). The not-taken
+			// side still holds a load so early-training mispredicts
+			// produce wrong-path accesses.
+			b.Br(isa.CondGEU, rVal, 0, join)
+			emitLoad(blk, 9)
+			b.Label(join)
+		}
+	}
+	b.Jmp("loop")
+	return b.Build()
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 19 {
+		t.Fatalf("%d SPEC profiles, want 19 (Table 3)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.FootprintBytes&(p.FootprintBytes-1) != 0 {
+			t.Fatalf("%s: footprint %d not a power of two", p.Name, p.FootprintBytes)
+		}
+		if p.LoadsPerBlock <= 0 || p.Blocks <= 0 {
+			t.Fatalf("%s: bad shape %+v", p.Name, p)
+		}
+	}
+	if _, ok := ProfileByName("astar"); !ok {
+		t.Fatal("ProfileByName failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("ProfileByName false positive")
+	}
+}
+
+func TestMTProfilesComplete(t *testing.T) {
+	ps := MTProfiles()
+	if len(ps) != 23 {
+		t.Fatalf("%d MT profiles, want 23 (Figure 9)", len(ps))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	p, _ := ProfileByName("astar")
+	a, b := p.Build(), p.Build()
+	if len(a.Code) != len(b.Code) {
+		t.Fatal("non-deterministic codegen")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+// run executes a profile for n instructions on the non-secure baseline and
+// returns measured (mispredict rate, L1 miss rate).
+func run(t *testing.T, p Profile, n uint64) (mispred, l1miss float64) {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 50_000_000
+	h := memsys.New(memsys.DefaultConfig(1))
+	m := cpu.New(cfg, p.Build(), h, nil)
+	st := m.Run(n)
+	if st.Committed < n {
+		t.Fatalf("%s: only %d instructions committed", p.Name, st.Committed)
+	}
+	mispred = float64(st.MispredictsCommitted) / float64(st.BranchesCommitted)
+	l1miss = h.L1(0).Stats.MissRate()
+	return mispred, l1miss
+}
+
+func TestCalibrationHighMispredict(t *testing.T) {
+	p, _ := ProfileByName("astar") // target 12.4% mispredict, 1.8% miss
+	mp, miss := run(t, p, 150_000)
+	if mp < 0.06 || mp > 0.20 {
+		t.Errorf("astar mispredict %.3f, target 0.124", mp)
+	}
+	if miss < 0.005 || miss > 0.06 {
+		t.Errorf("astar L1 miss %.3f, target 0.018", miss)
+	}
+}
+
+func TestCalibrationLowMispredictHighMiss(t *testing.T) {
+	p, _ := ProfileByName("lbm") // target 0.3% mispredict, 11% miss
+	mp, miss := run(t, p, 150_000)
+	if mp > 0.02 {
+		t.Errorf("lbm mispredict %.4f, target 0.003", mp)
+	}
+	if miss < 0.05 || miss > 0.20 {
+		t.Errorf("lbm L1 miss %.3f, target 0.110", miss)
+	}
+}
+
+func TestCalibrationNearZero(t *testing.T) {
+	p, _ := ProfileByName("libq") // ~0% mispredict, 10.4% miss
+	mp, miss := run(t, p, 150_000)
+	if mp > 0.02 {
+		t.Errorf("libq mispredict %.4f, target ~0", mp)
+	}
+	if miss < 0.05 {
+		t.Errorf("libq L1 miss %.3f, target 0.104", miss)
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	// The calibration must at least preserve the Table 3 ordering
+	// between a high- and a low-mispredict workload, and between a
+	// high- and a low-miss workload.
+	astar, _ := ProfileByName("astar")
+	gcc, _ := ProfileByName("gcc")
+	mpHigh, _ := run(t, astar, 80_000)
+	mpLow, _ := run(t, gcc, 80_000)
+	if mpHigh <= mpLow {
+		t.Errorf("mispredict ordering violated: astar %.4f <= gcc %.4f", mpHigh, mpLow)
+	}
+	soplex, _ := ProfileByName("soplex")
+	sjeng, _ := ProfileByName("sjeng")
+	_, missHigh := run(t, soplex, 80_000)
+	_, missLow := run(t, sjeng, 80_000)
+	if missHigh <= missLow {
+		t.Errorf("miss-rate ordering violated: soplex %.4f <= sjeng %.4f", missHigh, missLow)
+	}
+}
+
+func TestWorkloadsRunUnderAllQueues(t *testing.T) {
+	// Smoke: every profile runs 5k instructions without deadlock.
+	for _, p := range Profiles() {
+		cfg := cpu.DefaultConfig()
+		cfg.MaxCycles = 20_000_000
+		h := memsys.New(memsys.DefaultConfig(1))
+		m := cpu.New(cfg, p.Build(), h, nil)
+		st := m.Run(5_000)
+		if st.Committed < 5_000 {
+			t.Errorf("%s stalled at %d instructions", p.Name, st.Committed)
+		}
+	}
+}
