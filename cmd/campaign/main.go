@@ -1,0 +1,258 @@
+// Command campaign runs experiment grids (workload × policy × seed) on a
+// parallel worker pool with a durable, content-addressed result cache, so
+// interrupted or re-tweaked campaigns only simulate the cells that are
+// actually missing.
+//
+// Usage:
+//
+//	campaign run    -grid all -parallel 4 -cache .campaign
+//	campaign run    -grid headline -seeds 1..5 -csv results.csv
+//	campaign run    -workloads astar,gcc -policies nonsecure,cleanupspec
+//	campaign status -cache .campaign
+//	campaign export -cache .campaign -csv all.csv
+//
+// Grids: all | paper | headline | quick (see internal/campaign.GridByName).
+// The cache directory is shared with `paperbench -cache`: a paperbench
+// pass warms the campaign cache and vice versa.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		// Package-level errors already carry the "campaign: " prefix;
+		// don't double it.
+		fmt.Fprintln(os.Stderr, "campaign:", strings.TrimPrefix(err.Error(), "campaign: "))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  campaign run    [flags]   expand a grid and run the missing cells
+  campaign status [flags]   show per-job status from a cache's manifest
+  campaign export [flags]   dump every cached result as CSV
+
+run flags:
+  -grid name          predefined grid: %s (default "headline")
+  -workloads a,b      override the grid's workload list
+  -policies p,q       override the grid's policy list (see below)
+  -seeds 1..5|1,7,42  seed sweep (default: seed 1)
+  -instructions N     measurement window (default 150000)
+  -parallel N         worker count (default GOMAXPROCS = %d)
+  -cache dir          durable result cache (default ".campaign"; "" = memory only)
+  -csv file           write per-cell results as CSV ("-" = stdout)
+  -q                  suppress progress lines
+
+status/export flags:
+  -cache dir          cache directory (default ".campaign")
+  -csv file           export destination ("-" = stdout, the default)
+
+policies: %s
+`, strings.Join(campaign.GridNames(), "|"), runtime.GOMAXPROCS(0), policyNames())
+}
+
+func policyNames() string {
+	var names []string
+	for _, p := range sim.Policies() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, " ")
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	var (
+		gridName     = fs.String("grid", "headline", "predefined grid: "+strings.Join(campaign.GridNames(), "|"))
+		workloadsF   = fs.String("workloads", "", "comma-separated workload override")
+		policiesF    = fs.String("policies", "", "comma-separated policy override")
+		seedsF       = fs.String("seeds", "", "seed sweep: inclusive range 1..5 or list 1,7,42")
+		instructions = fs.Uint64("instructions", 150_000, "committed instructions per measurement window")
+		parallel     = fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+		cacheDir     = fs.String("cache", ".campaign", "result cache directory (empty = memory only)")
+		csvOut       = fs.String("csv", "", "write per-cell results as CSV to this file (- = stdout)")
+		quiet        = fs.Bool("q", false, "suppress progress lines")
+	)
+	fs.Parse(args)
+
+	seeds, err := campaign.ParseSeeds(*seedsF)
+	if err != nil {
+		return err
+	}
+	grid, err := campaign.GridByName(*gridName, *instructions, seeds)
+	if err != nil {
+		return err
+	}
+	if *workloadsF != "" {
+		grid.Workloads = campaign.ParseList(*workloadsF)
+		for _, wl := range grid.Workloads {
+			if _, ok := workloadKnown(wl); !ok {
+				return fmt.Errorf("unknown workload %q (valid: %s)", wl, strings.Join(sim.Workloads(), " "))
+			}
+		}
+	}
+	if *policiesF != "" {
+		grid.Policies = nil
+		for _, p := range campaign.ParseList(*policiesF) {
+			grid.Policies = append(grid.Policies, sim.Policy(p))
+		}
+	}
+	jobs := grid.Jobs()
+	if len(jobs) == 0 {
+		return fmt.Errorf("grid %q expanded to zero jobs", grid.Name)
+	}
+
+	eng := campaign.NewEngine()
+	eng.Workers = *parallel
+	if !*quiet {
+		eng.Reporter = campaign.NewReporter(os.Stderr)
+	}
+	if *cacheDir != "" {
+		cache, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		eng.Cache = cache
+		m, ok := campaign.LoadManifest(*cacheDir)
+		if !ok {
+			m = campaign.NewManifest(*cacheDir, grid.Name)
+		}
+		m.Grid = grid.Name
+		eng.Manifest = m
+	}
+
+	fmt.Fprintf(os.Stderr, "campaign: grid %q: %d workload(s) x %d policy(ies) x %d seed(s) = %d job(s), %d worker(s)\n",
+		grid.Name, len(grid.Workloads), len(grid.Policies), max(1, len(grid.Seeds)), len(jobs), workers(*parallel))
+	results := eng.Run(jobs)
+
+	fmt.Println(campaign.SummaryTable(results).String())
+
+	if *csvOut != "" {
+		w := os.Stdout
+		if *csvOut != "-" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := campaign.ResultsCSV(w, results); err != nil {
+			return err
+		}
+		if *csvOut != "-" {
+			fmt.Fprintln(os.Stderr, "campaign: wrote", *csvOut)
+		}
+	}
+
+	if failed := campaign.Failed(results); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d job(s) failed:\n", len(failed))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.Job, r.Err)
+		}
+		return fmt.Errorf("%d of %d jobs failed (rerun to retry just the failed cells)", len(failed), len(results))
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
+	cacheDir := fs.String("cache", ".campaign", "cache directory")
+	fs.Parse(args)
+
+	m, ok := campaign.LoadManifest(*cacheDir)
+	if !ok {
+		return fmt.Errorf("no manifest at %s (run `campaign run -cache %s` first)", campaign.ManifestPath(*cacheDir), *cacheDir)
+	}
+	pending, done, failed := m.Counts()
+	fmt.Printf("campaign %q at %s: %d done, %d failed, %d pending\n", m.Grid, *cacheDir, done, failed, pending)
+	if cache, err := campaign.OpenCache(*cacheDir); err == nil {
+		if n, err := cache.Len(); err == nil {
+			fmt.Printf("cache: %d result file(s)\n", n)
+		}
+	}
+	for _, rec := range m.Failures() {
+		fmt.Printf("  FAILED %s/%s seed %d: %s\n", rec.Workload, rec.Policy, rec.Seed, rec.Err)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("campaign export", flag.ExitOnError)
+	cacheDir := fs.String("cache", ".campaign", "cache directory")
+	csvOut := fs.String("csv", "-", "CSV destination (- = stdout)")
+	fs.Parse(args)
+
+	cache, err := campaign.OpenCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	entries, err := cache.Entries()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("cache at %s is empty", *cacheDir)
+	}
+	w := os.Stdout
+	if *csvOut != "-" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := campaign.EntriesCSV(w, entries); err != nil {
+		return err
+	}
+	if *csvOut != "-" {
+		fmt.Fprintf(os.Stderr, "campaign: exported %d result(s) to %s\n", len(entries), *csvOut)
+	}
+	return nil
+}
+
+func workloadKnown(name string) (string, bool) {
+	for _, wl := range sim.Workloads() {
+		if wl == name {
+			return wl, true
+		}
+	}
+	return "", false
+}
+
+func workers(parallel int) int {
+	if parallel > 0 {
+		return parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/sim"
+)
+
+// Cache is the content-addressed on-disk result store. Each entry is one
+// JSON file named <key>.json under a two-hex-character shard directory
+// (<dir>/ab/abcdef....json), so even large campaigns keep directory sizes
+// reasonable. Writes go through a temp file + rename, so a cache is never
+// left with a torn entry after a crash or an interrupt.
+type Cache struct {
+	dir string
+}
+
+// Entry is the on-disk record: the job's identity metadata plus its full
+// measurement, self-describing enough for `campaign export` to rebuild a
+// report without re-expanding the original grid.
+type Entry struct {
+	Key      string     `json:"key"`
+	Schema   int        `json:"schema"`
+	Workload string     `json:"workload"`
+	Policy   sim.Policy `json:"policy"`
+	Variant  string     `json:"variant,omitempty"`
+	Seed     uint64     `json:"seed"`
+	Result   sim.Result `json:"result"`
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("campaign: empty cache dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached entry for key, with ok=false on a miss. A
+// corrupt entry (torn write from an old crash, hand-edited file) counts as
+// a miss so the job is simply re-simulated and rewritten.
+func (c *Cache) Get(key string) (Entry, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Schema != SchemaVersion {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Put stores the result of job under its key.
+func (c *Cache) Put(job Job, res sim.Result) error {
+	key := job.Key()
+	rc := job.Config.Resolved()
+	e := Entry{
+		Key:      key,
+		Schema:   SchemaVersion,
+		Workload: job.Workload,
+		Policy:   rc.Policy,
+		Variant:  job.Variant,
+		Seed:     rc.Seed,
+		Result:   res,
+	}
+	data, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: encoding cache entry: %w", err)
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("campaign: cache shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	return nil
+}
+
+// Entries returns every cached entry, sorted by (workload, policy,
+// variant, seed) for deterministic export output.
+func (c *Cache) Entries() ([]Entry, error) {
+	var entries []Entry
+	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		if filepath.Dir(path) == c.dir {
+			return nil // manifest.json and friends live at the root
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil || e.Schema != SchemaVersion {
+			return nil // skip torn/foreign files
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: scanning cache: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		return a.Seed < b.Seed
+	})
+	return entries, nil
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() (int, error) {
+	entries, err := c.Entries()
+	if err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}

@@ -1,0 +1,113 @@
+// Package campaign is the experiment-grid engine behind paperbench and the
+// campaign command: it expands a declarative grid of cells (workload ×
+// policy × config overrides × seed) into independent jobs, executes them on
+// a bounded worker pool, and writes every result through a
+// content-addressed on-disk cache so an interrupted, tweaked, or partially
+// failed campaign only re-simulates the cells that are actually missing.
+//
+// The moving parts:
+//
+//   - Job / Key: one simulation cell and its content-addressed identity
+//     (hash of workload + canonicalized resolved sim.Config + schema
+//     version). Two jobs with the same key are guaranteed to produce the
+//     same sim.Result, so a key is safe to use as a cache address.
+//   - Cache: JSON result files under a cache directory, sharded by key
+//     prefix, written atomically (temp file + rename).
+//   - Manifest: per-job status (pending / done / failed) persisted next to
+//     the cache for `campaign status` and resumability.
+//   - Engine: the worker pool. Results come back in job order regardless
+//     of scheduling, failed jobs are retried once with a bounded
+//     Config.MaxCycles instead of panicking, and a Reporter streams
+//     completed/total + ETA to stderr.
+//   - Grid: the declarative cell grid plus the named grids the CLI
+//     exposes, seed-sweep parsing, and mean/geomean aggregation via
+//     internal/stats.
+//
+// internal/experiments.Runner delegates its per-run memoization to an
+// Engine, so a paperbench pass and a campaign run share one cache.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/sim"
+)
+
+// SchemaVersion is folded into every cache key. Bump it whenever the
+// simulator's semantics change in a way that invalidates previously cached
+// results (new policy behavior, changed defaults, new Result fields that
+// matter downstream).
+const SchemaVersion = 1
+
+// Job is one simulation cell: a workload run under a fully specified
+// configuration. Variant is a human-readable label for the config override
+// the job came from (empty for the grid's base config); it is reporting
+// metadata only and does not contribute to the job's identity.
+type Job struct {
+	Workload string     `json:"workload"`
+	Variant  string     `json:"variant,omitempty"`
+	Config   sim.Config `json:"config"`
+}
+
+// Key returns the job's content-addressed identity.
+func (j Job) Key() string { return Key(j.Workload, j.Config) }
+
+// String renders the job for progress lines and error messages.
+func (j Job) String() string {
+	s := j.Workload + "/" + string(j.Config.Resolved().Policy)
+	if j.Variant != "" {
+		s += "/" + j.Variant
+	}
+	if j.Config.Seed > 1 {
+		s += fmt.Sprintf("/seed%d", j.Config.Seed)
+	}
+	return s
+}
+
+// keyRecord is the canonical byte representation hashed into a key. The
+// resolved config is embedded as a struct, so every field that influences
+// the simulation participates in the hash with a fixed field order; the
+// Trace ring is observation-only and is excluded.
+type keyRecord struct {
+	Schema   int        `json:"schema"`
+	Workload string     `json:"workload"`
+	Config   sim.Config `json:"config"`
+}
+
+// Key returns the content-addressed cache key for running workload wl
+// under cfg: a 128-bit hex digest of the workload name, the fully resolved
+// configuration, and the cache schema version. Deriving the key from the
+// *resolved* config means two call sites that build the same effective
+// configuration through different code paths share a cache slot, and two
+// configurations that differ in any simulated parameter (seed, policy,
+// randomization overrides, window size, ...) never collide.
+func Key(wl string, cfg sim.Config) string {
+	rc := cfg.Resolved()
+	rc.Trace = nil // observation-only; does not affect results
+	blob, err := json.Marshal(keyRecord{Schema: SchemaVersion, Workload: wl, Config: rc})
+	if err != nil {
+		// sim.Config is a plain struct of scalars and *bool; this cannot
+		// fail for any value a caller can construct.
+		panic(fmt.Sprintf("campaign: canonicalizing config: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
+// JobResult is the outcome of one job execution.
+type JobResult struct {
+	Job      Job
+	Key      string
+	Result   sim.Result
+	Err      error
+	Cached   bool // served from the disk cache or in-memory memo
+	Attempts int  // 0 for cache hits
+	Elapsed  time.Duration
+}
+
+// Failed reports whether the job ultimately failed (after retries).
+func (r JobResult) Failed() bool { return r.Err != nil }

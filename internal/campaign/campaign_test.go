@@ -1,0 +1,248 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/sim"
+)
+
+func testCfg(p sim.Policy, seed uint64) sim.Config {
+	return sim.Config{Policy: p, Instructions: 6_000, Seed: seed}
+}
+
+func TestKeyDeterminismAndSensitivity(t *testing.T) {
+	base := testCfg(sim.CleanupSpec, 1)
+	k := Key("astar", base)
+	if k != Key("astar", base) {
+		t.Fatal("key not deterministic")
+	}
+	if len(k) != 32 {
+		t.Fatalf("key %q: want 32 hex chars", k)
+	}
+
+	on := true
+	variants := map[string]sim.Config{
+		"policy":       testCfg(sim.NonSecure, 1),
+		"seed":         testCfg(sim.CleanupSpec, 2),
+		"instructions": {Policy: sim.CleanupSpec, Instructions: 7_000, Seed: 1},
+		"l1rand":       {Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, L1RandomRepl: &on},
+		"nowarmup":     {Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, NoWarmup: true},
+		"maxcycles":    {Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, MaxCycles: 1_000_000},
+	}
+	for name, cfg := range variants {
+		if Key("astar", cfg) == k {
+			t.Errorf("%s variant collided with the base key", name)
+		}
+	}
+	if Key("gcc", base) == k {
+		t.Error("workload not part of the key")
+	}
+
+	// Defaults-resolution equivalence: an explicitly spelled-out default
+	// hashes the same as the implicit one.
+	explicit := sim.Config{Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, MaxCycles: 500_000_000, Warmup: 6_000}
+	if Key("astar", explicit) != k {
+		t.Error("explicit defaults must share the implicit-defaults key")
+	}
+
+	// The trace ring is observation-only and must not affect identity.
+	traced := base
+	traced.Trace = sim.NewTraceRing(16)
+	if Key("astar", traced) != k {
+		t.Error("trace ring changed the key")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Workload: "astar", Config: testCfg(sim.NonSecure, 1)}
+	res, err := sim.RunWorkload(job.Workload, job.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(job.Key()); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put(job, res); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Get(job.Key())
+	if !ok {
+		t.Fatal("cache miss after Put")
+	}
+	if !reflect.DeepEqual(e.Result, res) {
+		t.Fatalf("result did not round-trip:\n got %+v\nwant %+v", e.Result, res)
+	}
+	if e.Workload != "astar" || e.Policy != sim.NonSecure || e.Seed != 1 {
+		t.Fatalf("entry metadata wrong: %+v", e)
+	}
+
+	// A torn/corrupt entry must read as a miss, not an error.
+	if err := os.WriteFile(c.path(job.Key()), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(job.Key()); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+
+	// Entries skips the corrupt file and root-level files (manifest).
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	job2 := Job{Workload: "gcc", Config: testCfg(sim.NonSecure, 1)}
+	if err := c.Put(job2, res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Workload != "gcc" {
+		t.Fatalf("Entries: got %+v, want just the gcc entry", entries)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest(dir, "quick")
+	jobs := Grid{Name: "quick", Workloads: []string{"astar", "gcc"},
+		Policies: []sim.Policy{sim.NonSecure}, Instructions: 6_000}.Jobs()
+	m.Reconcile("quick", jobs)
+	if p, d, f := m.Counts(); p != 2 || d != 0 || f != 0 {
+		t.Fatalf("counts after reconcile: %d/%d/%d", p, d, f)
+	}
+	m.Record(JobResult{Job: jobs[0], Key: jobs[0].Key(), Result: sim.Result{Cycles: 123}})
+	m.Record(JobResult{Job: jobs[1], Key: jobs[1].Key(), Err: os.ErrDeadlineExceeded, Attempts: 2})
+	if err := m.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, ok := LoadManifest(dir)
+	if !ok {
+		t.Fatal("manifest did not load back")
+	}
+	if loaded.Grid != "quick" {
+		t.Fatalf("grid = %q", loaded.Grid)
+	}
+	p, d, f := loaded.Counts()
+	if p != 0 || d != 1 || f != 1 {
+		t.Fatalf("counts after load: pending=%d done=%d failed=%d", p, d, f)
+	}
+	fails := loaded.Failures()
+	if len(fails) != 1 || fails[0].Workload != "gcc" {
+		t.Fatalf("failures: %+v", fails)
+	}
+
+	// Reconciling the same grid again keeps done cells done and re-queues
+	// the failed one as pending.
+	loaded.Reconcile("quick", jobs)
+	p, d, f = loaded.Counts()
+	if p != 1 || d != 1 || f != 0 {
+		t.Fatalf("counts after re-reconcile: pending=%d done=%d failed=%d", p, d, f)
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Name:      "t",
+		Workloads: []string{"astar", "gcc"},
+		Policies:  []sim.Policy{sim.NonSecure, sim.CleanupSpec},
+		Seeds:     []uint64{1, 2, 3},
+	}
+	jobs := g.Jobs()
+	if len(jobs) != 2*2*3 {
+		t.Fatalf("expanded to %d jobs, want 12", len(jobs))
+	}
+	seen := make(map[string]bool)
+	for _, j := range jobs {
+		k := j.Key()
+		if seen[k] {
+			t.Fatalf("duplicate key in expansion: %s", j)
+		}
+		seen[k] = true
+	}
+	// Deterministic order: first jobs sweep seeds of (astar, nonsecure).
+	if jobs[0].Workload != "astar" || jobs[1].Config.Seed != 2 {
+		t.Fatalf("unexpected expansion order: %v then %v", jobs[0], jobs[1])
+	}
+}
+
+func TestGridByName(t *testing.T) {
+	for _, name := range GridNames() {
+		g, err := GridByName(name, 10_000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Jobs()) == 0 {
+			t.Fatalf("grid %q is empty", name)
+		}
+	}
+	if _, err := GridByName("nope", 0, nil); err == nil {
+		t.Fatal("unknown grid must error")
+	}
+	all, _ := GridByName("all", 0, []uint64{1, 2})
+	if want := len(sim.Workloads()) * len(sim.Policies()) * 2; len(all.Jobs()) != want {
+		t.Fatalf("all grid: %d jobs, want %d", len(all.Jobs()), want)
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []uint64
+		err  bool
+	}{
+		{"", nil, false},
+		{"1..5", []uint64{1, 2, 3, 4, 5}, false},
+		{"1,7,42", []uint64{1, 7, 42}, false},
+		{" 2 .. 3 ", []uint64{2, 3}, false},
+		{"5..1", nil, true},
+		{"0..3", nil, true},
+		{"a,b", nil, true},
+		{"1..99999", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSeeds(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("ParseSeeds(%q): err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseSeeds(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSummaryAndCSV(t *testing.T) {
+	jobs := Grid{Name: "t", Workloads: []string{"astar", "gcc"},
+		Policies:     []sim.Policy{sim.NonSecure, sim.CleanupSpec},
+		Instructions: 6_000}.Jobs()
+	eng := NewEngine()
+	results := eng.Run(jobs)
+	if n := len(Failed(results)); n != 0 {
+		t.Fatalf("%d jobs failed", n)
+	}
+	table := SummaryTable(results).String()
+	if !strings.Contains(table, "cleanupspec") || !strings.Contains(table, "%") {
+		t.Fatalf("summary table missing slowdown row:\n%s", table)
+	}
+	var b strings.Builder
+	if err := ResultsCSV(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+len(jobs) {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), 1+len(jobs), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "workload,policy,") {
+		t.Fatalf("CSV header: %s", lines[0])
+	}
+}

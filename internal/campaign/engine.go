@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sim"
+)
+
+// Engine executes jobs with memoization, optional disk caching, bounded
+// parallelism, and retry-on-failure. The zero value is not ready to use;
+// call NewEngine.
+//
+// Result lookup order for a job: in-memory memo → disk cache → simulate.
+// Fresh results are written through to both layers, so a later engine (or
+// a later process) pointed at the same cache directory starts warm.
+type Engine struct {
+	// Cache is the optional disk layer (nil → memory-only engine).
+	Cache *Cache
+	// Workers bounds the pool for Run (0 → runtime.GOMAXPROCS(0)). Each
+	// job is an independent CPU-bound sim.RunWorkload, so one worker per
+	// processor is the sweet spot.
+	Workers int
+	// Retries is how many times a failed job is re-attempted (default 1).
+	Retries int
+	// RetryMaxCycles bounds Config.MaxCycles on retry attempts so a
+	// pathologically stalled configuration times out instead of burning a
+	// worker for the 500M-cycle default (default 50M).
+	RetryMaxCycles uint64
+	// Manifest, when non-nil, receives per-job status updates and is
+	// saved after every job completion.
+	Manifest *Manifest
+	// Reporter, when non-nil, streams completed/total + ETA as jobs
+	// finish.
+	Reporter *Reporter
+
+	mu   sync.Mutex
+	memo map[string]sim.Result
+
+	sims atomic.Int64
+}
+
+// NewEngine returns a memory-only engine with default pool sizing; callers
+// attach Cache / Manifest / Reporter as needed.
+func NewEngine() *Engine {
+	return &Engine{Retries: 1, RetryMaxCycles: 50_000_000, memo: make(map[string]sim.Result)}
+}
+
+// Simulations returns how many actual simulator invocations the engine
+// has performed (cache and memo hits excluded, retries included) — the
+// number the cache-determinism tests pin to zero on a warm rerun.
+func (e *Engine) Simulations() int64 { return e.sims.Load() }
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) lookup(key string) (sim.Result, bool) {
+	e.mu.Lock()
+	res, ok := e.memo[key]
+	e.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	if e.Cache != nil {
+		if entry, ok := e.Cache.Get(key); ok {
+			e.mu.Lock()
+			e.memo[key] = entry.Result
+			e.mu.Unlock()
+			return entry.Result, true
+		}
+	}
+	return sim.Result{}, false
+}
+
+func (e *Engine) store(job Job, key string, res sim.Result) error {
+	e.mu.Lock()
+	e.memo[key] = res
+	e.mu.Unlock()
+	if e.Cache != nil {
+		return e.Cache.Put(job, res)
+	}
+	return nil
+}
+
+// RunOne executes a single job through the memo and cache, returning
+// whether the result was served from a cache layer. Failures are retried
+// per the engine's retry policy before being returned.
+func (e *Engine) RunOne(job Job) (res sim.Result, cached bool, err error) {
+	r := e.runJob(job)
+	return r.Result, r.Cached, r.Err
+}
+
+func (e *Engine) runJob(job Job) JobResult {
+	key := job.Key()
+	start := time.Now()
+	if res, ok := e.lookup(key); ok {
+		return JobResult{Job: job, Key: key, Result: res, Cached: true, Elapsed: time.Since(start)}
+	}
+	var (
+		res      sim.Result
+		err      error
+		attempts int
+	)
+	for attempt := 0; attempt <= e.Retries; attempt++ {
+		cfg := job.Config
+		if attempt > 0 && e.RetryMaxCycles > 0 {
+			// Retry under a tighter cycle budget: a deterministic stall
+			// will stall again, and the bounded budget turns it into a
+			// prompt per-job timeout instead of a hung worker.
+			if cfg.MaxCycles == 0 || cfg.MaxCycles > e.RetryMaxCycles {
+				cfg.MaxCycles = e.RetryMaxCycles
+			}
+		}
+		attempts++
+		e.sims.Add(1)
+		res, err = sim.RunWorkload(job.Workload, cfg)
+		if err == nil {
+			break
+		}
+	}
+	jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start)}
+	if err != nil {
+		// Not wrapped with the job name: every consumer (reporter,
+		// manifest, CLI failure listing) prints jr.Job alongside.
+		jr.Err = err
+		return jr
+	}
+	jr.Result = res
+	if serr := e.store(job, key, res); serr != nil {
+		// A result that simulated fine but failed to persist is still a
+		// usable result; surface the cache problem without failing the job.
+		jr.Err = nil
+		if e.Reporter != nil {
+			e.Reporter.Warn(fmt.Sprintf("cache write failed for %s: %v", job, serr))
+		}
+	}
+	return jr
+}
+
+// Run executes jobs on the worker pool and returns their results in job
+// order (independent of scheduling), so aggregation over the returned
+// slice is deterministic for a fixed grid. The manifest, when attached,
+// is reconciled before execution and saved as jobs complete; Run never
+// aborts on individual job failures — inspect JobResult.Err (or Failed on
+// the returned slice) for the per-cell outcomes.
+func (e *Engine) Run(jobs []Job) []JobResult {
+	if e.Manifest != nil {
+		e.Manifest.Reconcile(e.Manifest.Grid, jobs)
+		_ = e.Manifest.Save()
+	}
+	if e.Reporter != nil {
+		e.Reporter.Start(len(jobs))
+	}
+	results := make([]JobResult, len(jobs))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				jr := e.runJob(jobs[i])
+				results[i] = jr
+				if e.Manifest != nil {
+					e.Manifest.Record(jr)
+					_ = e.Manifest.Save()
+				}
+				if e.Reporter != nil {
+					e.Reporter.JobDone(jr)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Reporter != nil {
+		e.Reporter.Finish()
+	}
+	if e.Manifest != nil {
+		_ = e.Manifest.Save()
+	}
+	return results
+}
+
+// Failed filters the failed results out of a Run output.
+func Failed(results []JobResult) []JobResult {
+	var out []JobResult
+	for _, r := range results {
+		if r.Failed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}

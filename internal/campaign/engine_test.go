@@ -1,0 +1,251 @@
+package campaign
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/sim"
+)
+
+// smallGrid is a fixed-seed grid small enough for tests but wide enough to
+// exercise the pool.
+func smallGrid() Grid {
+	return Grid{
+		Name:         "test",
+		Workloads:    []string{"astar", "gcc", "lbm", "sphinx3"},
+		Policies:     []sim.Policy{sim.NonSecure, sim.CleanupSpec},
+		Seeds:        []uint64{1, 2},
+		Instructions: 6_000,
+	}
+}
+
+// TestParallelMatchesSerial is the end-to-end determinism check: a
+// 4-worker pool run must produce results identical to running every cell
+// serially through sim.RunWorkload — same grid, same seeds, same bytes.
+func TestParallelMatchesSerial(t *testing.T) {
+	jobs := smallGrid().Jobs()
+
+	var serial []sim.Result
+	for _, j := range jobs {
+		res, err := sim.RunWorkload(j.Workload, j.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, res)
+	}
+
+	eng := NewEngine()
+	eng.Workers = 4
+	results := eng.Run(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s failed: %v", r.Job, r.Err)
+		}
+		if !reflect.DeepEqual(r.Result, serial[i]) {
+			t.Fatalf("job %s: parallel result differs from serial:\n got %+v\nwant %+v",
+				r.Job, r.Result, serial[i])
+		}
+	}
+
+	// And the aggregated CSV must match byte for byte.
+	var fromPool, fromSerial strings.Builder
+	if err := ResultsCSV(&fromPool, results); err != nil {
+		t.Fatal(err)
+	}
+	serialResults := make([]JobResult, len(jobs))
+	for i := range jobs {
+		serialResults[i] = JobResult{Job: jobs[i], Key: jobs[i].Key(), Result: serial[i]}
+	}
+	if err := ResultsCSV(&fromSerial, serialResults); err != nil {
+		t.Fatal(err)
+	}
+	if fromPool.String() != fromSerial.String() {
+		t.Fatal("aggregated CSV differs between parallel and serial runs")
+	}
+}
+
+// TestSecondRunZeroSimulations pins cache-backed determinism: rerunning
+// the same grid against a warm cache must perform zero simulations, even
+// from a brand-new engine (fresh memo, disk only).
+func TestSecondRunZeroSimulations(t *testing.T) {
+	dir := t.TempDir()
+	jobs := smallGrid().Jobs()
+
+	first := NewEngine()
+	first.Workers = 4
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Cache = cache
+	results := first.Run(jobs)
+	if first.Simulations() != int64(len(jobs)) {
+		t.Fatalf("cold run simulated %d, want %d", first.Simulations(), len(jobs))
+	}
+
+	second := NewEngine()
+	second.Workers = 4
+	second.Cache, err = OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun := second.Run(jobs)
+	if second.Simulations() != 0 {
+		t.Fatalf("warm rerun simulated %d cells, want 0", second.Simulations())
+	}
+	for i := range rerun {
+		if !rerun[i].Cached {
+			t.Fatalf("job %s not served from cache", rerun[i].Job)
+		}
+		if !reflect.DeepEqual(rerun[i].Result, results[i].Result) {
+			t.Fatalf("job %s: cached result differs from simulated", rerun[i].Job)
+		}
+	}
+}
+
+// TestResumeAfterInterrupt models an interrupted campaign: only part of
+// the grid made it into the cache; the resumed run simulates exactly the
+// missing cells and completes.
+func TestResumeAfterInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	jobs := smallGrid().Jobs()
+	half := jobs[:len(jobs)/2]
+
+	first := NewEngine()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Cache = cache
+	first.Run(half) // "interrupted" after half the grid
+
+	resumed := NewEngine()
+	resumed.Workers = 4
+	resumed.Cache, err = OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Manifest = NewManifest(dir, "test")
+	results := resumed.Run(jobs)
+	if n := len(Failed(results)); n != 0 {
+		t.Fatalf("%d jobs failed on resume", n)
+	}
+	if got, want := resumed.Simulations(), int64(len(jobs)-len(half)); got != want {
+		t.Fatalf("resumed run simulated %d cells, want exactly the %d missing ones", got, want)
+	}
+	if _, done, failed := resumed.Manifest.Counts(); done != len(jobs) || failed != 0 {
+		t.Fatalf("manifest after resume: done=%d failed=%d, want %d/0", done, failed, len(jobs))
+	}
+}
+
+// TestResumeAfterPartialFailure injects a failing cell into the grid: the
+// run must finish every good cell, retry and record the bad one as
+// failed, and a rerun must re-attempt only the failed cell.
+func TestResumeAfterPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	jobs := smallGrid().Jobs()
+	bad := Job{Workload: "no-such-workload", Config: sim.Config{Policy: sim.NonSecure, Instructions: 6_000}}
+	jobs = append(jobs[:3:3], append([]Job{bad}, jobs[3:]...)...)
+
+	eng := NewEngine()
+	eng.Workers = 4
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Cache = cache
+	eng.Manifest = NewManifest(dir, "test")
+	results := eng.Run(jobs)
+
+	failed := Failed(results)
+	if len(failed) != 1 || failed[0].Job.Workload != "no-such-workload" {
+		t.Fatalf("failed set: %+v", failed)
+	}
+	if failed[0].Attempts != 2 {
+		t.Fatalf("failed job attempted %d times, want 2 (one retry)", failed[0].Attempts)
+	}
+	for _, r := range results {
+		if r.Job.Workload != "no-such-workload" && r.Err != nil {
+			t.Fatalf("good cell %s failed alongside the bad one: %v", r.Job, r.Err)
+		}
+	}
+	if _, done, failedN := eng.Manifest.Counts(); done != len(jobs)-1 || failedN != 1 {
+		t.Fatalf("manifest: done=%d failed=%d", done, failedN)
+	}
+
+	// The manifest survives the process: load it back like `campaign
+	// status` would.
+	loaded, ok := LoadManifest(dir)
+	if !ok {
+		t.Fatal("manifest not persisted")
+	}
+	if fails := loaded.Failures(); len(fails) != 1 || fails[0].Workload != "no-such-workload" {
+		t.Fatalf("persisted failures: %+v", fails)
+	}
+
+	// Resume: only the failed cell is re-attempted, everything else is a
+	// cache hit.
+	resumed := NewEngine()
+	resumed.Cache, err = OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Run(jobs)
+	if got := resumed.Simulations(); got != 2 { // 1 attempt + 1 retry of the bad cell
+		t.Fatalf("resume simulated %d times, want 2 (bad cell only)", got)
+	}
+}
+
+// TestRetryBoundsMaxCycles checks the per-job timeout: the retry attempt
+// runs under the engine's bounded cycle budget.
+func TestRetryBoundsMaxCycles(t *testing.T) {
+	eng := NewEngine()
+	if eng.RetryMaxCycles == 0 {
+		t.Fatal("default engine must bound retry cycles")
+	}
+	// White-box: a failing job goes through the retry path without
+	// mutating the original job config.
+	job := Job{Workload: "no-such-workload", Config: sim.Config{Policy: sim.NonSecure}}
+	jr := eng.runJob(job)
+	if jr.Err == nil || jr.Attempts != 2 {
+		t.Fatalf("want 2 failed attempts, got %d (err=%v)", jr.Attempts, jr.Err)
+	}
+	if job.Config.MaxCycles != 0 {
+		t.Fatal("retry mutated the caller's job config")
+	}
+}
+
+// TestPoolConcurrency hammers the pool with more workers than jobs and
+// duplicate keys — the shape the -race CI job verifies.
+func TestPoolConcurrency(t *testing.T) {
+	g := smallGrid()
+	jobs := g.Jobs()
+	jobs = append(jobs, g.Jobs()...) // duplicate keys race on the memo
+	eng := NewEngine()
+	eng.Workers = 16
+	eng.Reporter = NewReporter(io.Discard)
+	results := eng.Run(jobs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, r.Job, r.Err)
+		}
+	}
+	// Order invariant: results[i] corresponds to jobs[i].
+	for i := range jobs {
+		if results[i].Key != jobs[i].Key() {
+			t.Fatalf("result %d out of order", i)
+		}
+	}
+	// Duplicate halves must agree exactly.
+	n := len(jobs) / 2
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(results[i].Result, results[i+n].Result) {
+			t.Fatalf("duplicate job %s diverged", jobs[i])
+		}
+	}
+}

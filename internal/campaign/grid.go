@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/sim"
+)
+
+// Variant is one named config override in a grid (the Table 1 ablations,
+// a CEASER remap rate sweep, ...). Mod mutates the job's base config; the
+// job's cache identity comes from the resulting resolved config, so two
+// variants that happen to produce the same effective config share cache
+// slots and two different ones never do. An empty-name Variant with a nil
+// Mod is the base configuration.
+type Variant struct {
+	Name string
+	Mod  func(*sim.Config)
+}
+
+// Grid is the declarative campaign: every combination of workload ×
+// policy × variant × seed becomes one job.
+type Grid struct {
+	Name         string
+	Workloads    []string
+	Policies     []sim.Policy
+	Seeds        []uint64
+	Variants     []Variant
+	Instructions uint64
+}
+
+// Jobs expands the grid in deterministic (workload, policy, variant,
+// seed) order.
+func (g Grid) Jobs() []Job {
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	variants := g.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{}}
+	}
+	var jobs []Job
+	for _, wl := range g.Workloads {
+		for _, p := range g.Policies {
+			for _, v := range variants {
+				for _, seed := range seeds {
+					cfg := sim.Config{Policy: p, Instructions: g.Instructions, Seed: seed}
+					if v.Mod != nil {
+						v.Mod(&cfg)
+					}
+					jobs = append(jobs, Job{Workload: wl, Variant: v.Name, Config: cfg})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// GridNames lists the predefined grids in presentation order.
+func GridNames() []string { return []string{"all", "paper", "headline", "quick"} }
+
+// GridByName returns one of the predefined grids:
+//
+//   - all: every workload × every policy — the full evaluation surface.
+//   - paper: every workload × the paper's Table 6 policies (non-secure
+//     baseline, CleanupSpec, both InvisiSpec models).
+//   - headline: every workload × {nonsecure, cleanupspec} — Figure 12.
+//   - quick: four representative workloads × {nonsecure, cleanupspec} — a
+//     smoke-sized grid for trying the tooling.
+//
+// instructions sizes the measurement window (0 → the sim default) and
+// seeds is the seed sweep (nil → seed 1).
+func GridByName(name string, instructions uint64, seeds []uint64) (Grid, error) {
+	g := Grid{Name: name, Workloads: sim.Workloads(), Seeds: seeds, Instructions: instructions}
+	switch name {
+	case "all":
+		g.Policies = sim.Policies()
+	case "paper":
+		g.Policies = []sim.Policy{sim.NonSecure, sim.CleanupSpec, sim.InvisiSpecInitial, sim.InvisiSpecRevised}
+	case "headline":
+		g.Policies = []sim.Policy{sim.NonSecure, sim.CleanupSpec}
+	case "quick":
+		g.Workloads = []string{"astar", "gcc", "lbm", "sphinx3"}
+		g.Policies = []sim.Policy{sim.NonSecure, sim.CleanupSpec}
+	default:
+		return Grid{}, fmt.Errorf("campaign: unknown grid %q (valid: %s)", name, strings.Join(GridNames(), " "))
+	}
+	return g, nil
+}
+
+// ParseSeeds parses a seed-sweep flag: either a comma list ("1,7,42") or
+// an inclusive range ("1..5").
+func ParseSeeds(s string) ([]uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if lo, hi, ok := strings.Cut(s, ".."); ok {
+		a, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+		b, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+		if err1 != nil || err2 != nil || a == 0 || b < a {
+			return nil, fmt.Errorf("campaign: bad seed range %q (want e.g. 1..5)", s)
+		}
+		if b-a >= 1000 {
+			return nil, fmt.Errorf("campaign: seed range %q too large (max 1000 seeds)", s)
+		}
+		var seeds []uint64
+		for v := a; v <= b; v++ {
+			seeds = append(seeds, v)
+		}
+		return seeds, nil
+	}
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil || v == 0 {
+			return nil, fmt.Errorf("campaign: bad seed %q in %q", part, s)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+// ParseList splits a comma-separated flag value, trimming blanks.
+func ParseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// baselineCycles maps (workload, variant, seed) → non-secure cycles, used
+// to normalize every secure policy against its exact baseline cell.
+func baselineCycles(results []JobResult) map[string]float64 {
+	base := make(map[string]float64)
+	for _, r := range results {
+		if r.Failed() {
+			continue
+		}
+		rc := r.Job.Config.Resolved()
+		if rc.Policy == sim.NonSecure {
+			k := fmt.Sprintf("%s/%s/%d", r.Job.Workload, r.Job.Variant, rc.Seed)
+			base[k] = float64(r.Result.Cycles)
+		}
+	}
+	return base
+}

@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/sim"
+)
+
+// Job statuses recorded in the manifest.
+const (
+	StatusPending = "pending"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// JobRecord is one job's row in the manifest.
+type JobRecord struct {
+	Workload string     `json:"workload"`
+	Policy   sim.Policy `json:"policy"`
+	Variant  string     `json:"variant,omitempty"`
+	Seed     uint64     `json:"seed"`
+	Status   string     `json:"status"`
+	Attempts int        `json:"attempts,omitempty"`
+	Cached   bool       `json:"cached,omitempty"`
+	Err      string     `json:"err,omitempty"`
+	Cycles   uint64     `json:"cycles,omitempty"`
+	MS       int64      `json:"ms,omitempty"` // wall-clock milliseconds
+}
+
+// Manifest records a campaign's identity and per-job status. It lives as
+// manifest.json at the cache root; `campaign status` renders it, and a
+// rerun of the same grid reconciles against it so finished cells stay
+// done and previously failed cells show up as retried.
+type Manifest struct {
+	Grid string                `json:"grid"`
+	Jobs map[string]*JobRecord `json:"jobs"` // keyed by cache key
+
+	mu   sync.Mutex
+	path string
+}
+
+// ManifestPath returns the manifest location for a cache directory.
+func ManifestPath(cacheDir string) string {
+	return filepath.Join(cacheDir, "manifest.json")
+}
+
+// NewManifest creates an empty manifest that saves to the given cache dir.
+func NewManifest(cacheDir, grid string) *Manifest {
+	return &Manifest{Grid: grid, Jobs: make(map[string]*JobRecord), path: ManifestPath(cacheDir)}
+}
+
+// LoadManifest reads the manifest from a cache dir; ok=false if none
+// exists (or it is unreadable, in which case it is simply rebuilt).
+func LoadManifest(cacheDir string) (*Manifest, bool) {
+	data, err := os.ReadFile(ManifestPath(cacheDir))
+	if err != nil {
+		return nil, false
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil || m.Jobs == nil {
+		return nil, false
+	}
+	m.path = ManifestPath(cacheDir)
+	return &m, true
+}
+
+// Reconcile registers every job of a new run: jobs not yet present (or
+// previously failed) become pending; jobs already done are left alone.
+func (m *Manifest) Reconcile(grid string, jobs []Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Grid = grid
+	for _, j := range jobs {
+		key := j.Key()
+		if rec, ok := m.Jobs[key]; ok && rec.Status == StatusDone {
+			continue
+		}
+		rc := j.Config.Resolved()
+		m.Jobs[key] = &JobRecord{
+			Workload: j.Workload,
+			Policy:   rc.Policy,
+			Variant:  j.Variant,
+			Seed:     rc.Seed,
+			Status:   StatusPending,
+		}
+	}
+}
+
+// Record updates one job's outcome.
+func (m *Manifest) Record(r JobResult) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rc := r.Job.Config.Resolved()
+	rec := &JobRecord{
+		Workload: r.Job.Workload,
+		Policy:   rc.Policy,
+		Variant:  r.Job.Variant,
+		Seed:     rc.Seed,
+		Status:   StatusDone,
+		Attempts: r.Attempts,
+		Cached:   r.Cached,
+		Cycles:   r.Result.Cycles,
+		MS:       r.Elapsed.Milliseconds(),
+	}
+	if r.Err != nil {
+		rec.Status = StatusFailed
+		rec.Err = r.Err.Error()
+	}
+	m.Jobs[r.Key] = rec
+}
+
+// Save writes the manifest atomically (temp file + rename).
+func (m *Manifest) Save() error {
+	m.mu.Lock()
+	data, err := json.MarshalIndent(struct {
+		Grid string                `json:"grid"`
+		Jobs map[string]*JobRecord `json:"jobs"`
+	}{m.Grid, m.Jobs}, "", " ")
+	path := m.path
+	m.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("campaign: encoding manifest: %w", err)
+	}
+	if path == "" {
+		return nil // in-memory manifest (no cache dir)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest.tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: saving manifest: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: saving manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: saving manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: saving manifest: %w", err)
+	}
+	return nil
+}
+
+// Counts returns the number of jobs per status.
+func (m *Manifest) Counts() (pending, done, failed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range m.Jobs {
+		switch rec.Status {
+		case StatusDone:
+			done++
+		case StatusFailed:
+			failed++
+		default:
+			pending++
+		}
+	}
+	return
+}
+
+// Failures returns the failed job records, sorted for stable output.
+func (m *Manifest) Failures() []*JobRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*JobRecord
+	for _, rec := range m.Jobs {
+		if rec.Status == StatusFailed {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		if out[i].Policy != out[j].Policy {
+			return out[i].Policy < out[j].Policy
+		}
+		return out[i].Seed < out[j].Seed
+	})
+	return out
+}

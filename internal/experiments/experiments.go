@@ -5,14 +5,17 @@
 //
 // Each runner returns a Report with the regenerated table (or series) and a
 // short paper-vs-measured note. The runners deliberately share a memoizing
-// Runner so a full paperbench pass simulates each (workload, policy) pair
-// once.
+// Runner so a full paperbench pass simulates each (workload, config) pair
+// once; the memo is a thin layer over the internal/campaign engine, so it
+// can be backed by the same durable cache cmd/campaign uses.
 package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/multicore"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -71,45 +74,68 @@ func (r Report) Markdown() string {
 	return b.String()
 }
 
-// Runner memoizes simulation results across experiments.
+// Runner memoizes simulation results across experiments. Since the
+// campaign engine landed, the Runner is a thin layer over it: each run is
+// keyed by the content-addressed campaign key of its fully resolved
+// config (so two call sites that build the same effective configuration
+// share a result, and two that differ in any simulated parameter never
+// can), and pointing Engine.Cache at a directory makes the memo durable
+// across processes.
 type Runner struct {
-	Opts  Options
-	memo  map[string]sim.Result
-	Quiet bool
+	Opts Options
+	// Engine executes and caches the individual runs. NewRunner attaches
+	// a memory-only engine; callers may add a disk cache
+	// (paperbench -cache) before the first run.
+	Engine *campaign.Engine
+	Quiet  bool
+
+	memo map[string]sim.Result
+	errs []error
 }
 
-// NewRunner creates a runner.
+// NewRunner creates a runner backed by a memory-only campaign engine.
 func NewRunner(o Options) *Runner {
-	return &Runner{Opts: o, memo: make(map[string]sim.Result)}
+	return &Runner{Opts: o, Engine: campaign.NewEngine(), memo: make(map[string]sim.Result)}
 }
 
-// run returns the memoized result for (workload, policy) with optional
-// config modification (mods invalidate memoization).
-func (r *Runner) run(wl string, p sim.Policy, mod func(*sim.Config), key string) sim.Result {
-	k := wl + "/" + string(p) + "/" + key
-	if res, ok := r.memo[k]; ok {
-		return res
-	}
+// Errors returns the simulation failures accumulated so far. A failed
+// cell no longer panics: it contributes NaN to its table rows and is
+// reported here, so one bad configuration cannot kill a whole paperbench
+// pass.
+func (r *Runner) Errors() []error { return r.errs }
+
+// run returns the memoized result for workload wl under policy p with an
+// optional config modification. The memo key is derived from the resolved
+// configuration itself, not from a caller-supplied label.
+func (r *Runner) run(wl string, p sim.Policy, mod func(*sim.Config)) sim.Result {
 	cfg := sim.Config{Policy: p, Instructions: r.Opts.Instructions}
 	if mod != nil {
 		mod(&cfg)
 	}
+	key := campaign.Key(wl, cfg)
+	if res, ok := r.memo[key]; ok {
+		return res
+	}
 	if !r.Quiet {
-		fmt.Printf("  running %-10s %-22s...\n", wl, string(p)+" "+key)
+		fmt.Printf("  running %-10s %-22s...\n", wl, string(p))
 	}
-	res, err := sim.RunWorkload(wl, cfg)
+	res, _, err := r.Engine.RunOne(campaign.Job{Workload: wl, Config: cfg})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s/%s: %v", wl, p, err))
+		r.errs = append(r.errs, fmt.Errorf("%s/%s: %w", wl, p, err))
+		return sim.Result{}
 	}
-	r.memo[k] = res
+	r.memo[key] = res
 	return res
 }
 
 // slowdown returns the normalized execution time of p vs the non-secure
-// baseline for workload wl.
-func (r *Runner) slowdown(wl string, p sim.Policy, mod func(*sim.Config), key string) float64 {
-	base := r.run(wl, sim.NonSecure, nil, "")
-	res := r.run(wl, p, mod, key)
+// baseline for workload wl (NaN if either run failed).
+func (r *Runner) slowdown(wl string, p sim.Policy, mod func(*sim.Config)) float64 {
+	base := r.run(wl, sim.NonSecure, nil)
+	res := r.run(wl, p, mod)
+	if base.Cycles == 0 {
+		return math.NaN()
+	}
 	return float64(res.Cycles) / float64(base.Cycles)
 }
 
@@ -124,12 +150,12 @@ func (r *Runner) Table1() Report {
 	on := true
 	var l1, l2, both []float64
 	for _, wl := range workloads() {
-		l1 = append(l1, r.slowdown(wl, sim.NonSecure, func(c *sim.Config) { c.L1RandomRepl = &on }, "l1rand"))
-		l2 = append(l2, r.slowdown(wl, sim.NonSecure, func(c *sim.Config) { c.RandomizeL2 = &on }, "l2rand"))
+		l1 = append(l1, r.slowdown(wl, sim.NonSecure, func(c *sim.Config) { c.L1RandomRepl = &on }))
+		l2 = append(l2, r.slowdown(wl, sim.NonSecure, func(c *sim.Config) { c.RandomizeL2 = &on }))
 		both = append(both, r.slowdown(wl, sim.NonSecure, func(c *sim.Config) {
 			c.L1RandomRepl = &on
 			c.RandomizeL2 = &on
-		}, "bothrand"))
+		}))
 	}
 	t.AddRow("L1-Rand Replacement", fmt.Sprintf("%.1f%%", stats.Slowdown(stats.Geomean(l1))), "0.1%")
 	t.AddRow("L2-Randomization", fmt.Sprintf("%.1f%%", stats.Slowdown(stats.Geomean(l2))), "0.4%")
@@ -147,7 +173,7 @@ func (r *Runner) Table3() Report {
 	t := stats.NewTable("Table 3: Workload characteristics (measured vs paper)",
 		"Workload", "Mispredict", "Paper", "L1-D Miss", "Paper")
 	for _, wl := range workloads() {
-		res := r.run(wl, sim.NonSecure, nil, "")
+		res := r.run(wl, sim.NonSecure, nil)
 		p, _ := workload.ProfileByName(wl)
 		t.AddRow(wl,
 			fmt.Sprintf("%.1f%%", res.MispredictRate*100),
@@ -169,7 +195,7 @@ func (r *Runner) Table5() Report {
 	t := stats.NewTable("Table 5: Cleanup statistics (CleanupSpec)",
 		"Workload", "SquashPKI", "Loads/Squash", "NI%", "L1H%", "L2H%", "L2M%")
 	for _, wl := range workloads() {
-		res := r.run(wl, sim.CleanupSpec, nil, "")
+		res := r.run(wl, sim.CleanupSpec, nil)
 		t.AddRow(wl,
 			fmt.Sprintf("%.2f", res.SquashPKI),
 			fmt.Sprintf("%.2f", res.LoadsPerSquash),
@@ -194,9 +220,9 @@ func (r *Runner) Table6() Report {
 		"Configuration", "Avg Slowdown", "Paper")
 	var ini, rev, cs []float64
 	for _, wl := range workloads() {
-		ini = append(ini, r.slowdown(wl, sim.InvisiSpecInitial, nil, ""))
-		rev = append(rev, r.slowdown(wl, sim.InvisiSpecRevised, nil, ""))
-		cs = append(cs, r.slowdown(wl, sim.CleanupSpec, nil, ""))
+		ini = append(ini, r.slowdown(wl, sim.InvisiSpecInitial, nil))
+		rev = append(rev, r.slowdown(wl, sim.InvisiSpecRevised, nil))
+		cs = append(cs, r.slowdown(wl, sim.CleanupSpec, nil))
 	}
 	t.AddRow("InvisiSpec (initial estimates)", fmt.Sprintf("%.1f%%", stats.Slowdown(stats.Geomean(ini))), "67.5%")
 	t.AddRow("InvisiSpec (revised)", fmt.Sprintf("%.1f%%", stats.Slowdown(stats.Geomean(rev))), "15%")
@@ -230,7 +256,7 @@ func (r *Runner) Table6Extended() Report {
 	for _, row := range rows {
 		var xs []float64
 		for _, wl := range workloads() {
-			xs = append(xs, r.slowdown(wl, row.p, nil, ""))
+			xs = append(xs, r.slowdown(wl, row.p, nil))
 		}
 		t.AddRow(string(row.p), fmt.Sprintf("%.1f%%", stats.Slowdown(stats.Geomean(xs))), row.paper)
 	}
@@ -253,8 +279,8 @@ func (r *Runner) Figure4() Report {
 		"Workload", "Total", "Regular", "Invisible", "Update")
 	var times, traffics []float64
 	for _, wl := range workloads() {
-		base := r.run(wl, sim.NonSecure, nil, "")
-		inv := r.run(wl, sim.InvisiSpecInitial, nil, "")
+		base := r.run(wl, sim.NonSecure, nil)
+		inv := r.run(wl, sim.InvisiSpecInitial, nil)
 		nt := float64(inv.Cycles) / float64(base.Cycles)
 		times = append(times, nt)
 		tt.AddRow(wl, fmt.Sprintf("%.2f", nt))
@@ -357,7 +383,7 @@ func (r *Runner) Figure12() Report {
 		"Workload", "Normalized", "Slowdown")
 	var xs []float64
 	for _, wl := range workloads() {
-		s := r.slowdown(wl, sim.CleanupSpec, nil, "")
+		s := r.slowdown(wl, sim.CleanupSpec, nil)
 		xs = append(xs, s)
 		t.AddRow(wl, fmt.Sprintf("%.3f", s), fmt.Sprintf("%+.1f%%", stats.Slowdown(s)))
 	}
@@ -384,9 +410,8 @@ func (r *Runner) Figure12Variance() Report {
 	for i, seed := range []uint64{1, 7, 42} {
 		var xs []float64
 		for _, wl := range workloads() {
-			key := fmt.Sprintf("seed%d", seed)
-			base := r.run(wl, sim.NonSecure, func(c *sim.Config) { c.Seed = seed }, key)
-			res := r.run(wl, sim.CleanupSpec, func(c *sim.Config) { c.Seed = seed }, key)
+			base := r.run(wl, sim.NonSecure, func(c *sim.Config) { c.Seed = seed })
+			res := r.run(wl, sim.CleanupSpec, func(c *sim.Config) { c.Seed = seed })
 			xs = append(xs, float64(res.Cycles)/float64(base.Cycles))
 		}
 		s := stats.Slowdown(stats.Geomean(xs))
@@ -412,7 +437,7 @@ func (r *Runner) Figure13() Report {
 	t := stats.NewTable("Figure 13: Squashes per kilo-instruction (CleanupSpec)",
 		"Workload", "Squash PKI")
 	for _, wl := range workloads() {
-		res := r.run(wl, sim.CleanupSpec, nil, "")
+		res := r.run(wl, sim.CleanupSpec, nil)
 		t.AddRow(wl, fmt.Sprintf("%.2f", res.SquashPKI))
 	}
 	return Report{
@@ -431,7 +456,7 @@ func (r *Runner) Figure14() Report {
 	t := stats.NewTable("Figure 14: Stall per squash (cycles, CleanupSpec)",
 		"Workload", "InflightWait", "CleanupOps", "Total")
 	for _, wl := range workloads() {
-		res := r.run(wl, sim.CleanupSpec, nil, "")
+		res := r.run(wl, sim.CleanupSpec, nil)
 		t.AddRow(wl,
 			fmt.Sprintf("%.1f", res.WaitPerSquash),
 			fmt.Sprintf("%.1f", res.CleanupPerSquash),
@@ -453,7 +478,7 @@ func (r *Runner) Figure15() Report {
 	t := stats.NewTable("Figure 15: Squashed L1-misses, inflight vs executed (CleanupSpec)",
 		"Workload", "Inflight%", "Executed%")
 	for _, wl := range workloads() {
-		res := r.run(wl, sim.CleanupSpec, nil, "")
+		res := r.run(wl, sim.CleanupSpec, nil)
 		t.AddRow(wl,
 			fmt.Sprintf("%.0f", res.InflightFrac*100),
 			fmt.Sprintf("%.0f", res.ExecutedFrac*100))

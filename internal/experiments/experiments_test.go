@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/sim"
 )
 
 // smallRunner keeps experiment tests fast.
@@ -45,15 +47,56 @@ func TestByIDDispatch(t *testing.T) {
 
 func TestMemoizationReusesRuns(t *testing.T) {
 	r := smallRunner()
-	r.run("gcc", "nonsecure", nil, "")
+	r.run("gcc", "nonsecure", nil)
 	n := len(r.memo)
-	r.run("gcc", "nonsecure", nil, "")
-	if len(r.memo) != n {
+	sims := r.Engine.Simulations()
+	r.run("gcc", "nonsecure", nil)
+	if len(r.memo) != n || r.Engine.Simulations() != sims {
 		t.Fatal("identical run not memoized")
 	}
-	r.run("gcc", "cleanupspec", nil, "")
+	r.run("gcc", "cleanupspec", nil)
 	if len(r.memo) != n+1 {
 		t.Fatal("distinct run not recorded")
+	}
+}
+
+// TestMemoKeyFromResolvedConfig pins the memo-key fix: two runs that
+// differ only in their config-mod function (same workload, same policy)
+// must never share a result, and a mod that leaves the config unchanged
+// must still hit the memo.
+func TestMemoKeyFromResolvedConfig(t *testing.T) {
+	r := smallRunner()
+	base := r.run("gcc", "nonsecure", nil)
+	n := len(r.memo)
+	on := true
+	modded := r.run("gcc", "nonsecure", func(c *sim.Config) { c.L1RandomRepl = &on })
+	if len(r.memo) != n+1 {
+		t.Fatal("config-modifying run shared the unmodified run's memo entry")
+	}
+	if modded.Cycles == base.Cycles {
+		t.Log("note: modded run happened to match base cycles (allowed, but suspicious)")
+	}
+	sims := r.Engine.Simulations()
+	// A no-op mod resolves to the same config and must be a memo hit.
+	r.run("gcc", "nonsecure", func(c *sim.Config) {})
+	if r.Engine.Simulations() != sims {
+		t.Fatal("no-op mod re-simulated instead of hitting the memo")
+	}
+}
+
+// TestRunErrorDoesNotPanic pins the panic fix: an unknown workload must
+// surface through Errors(), not kill the pass.
+func TestRunErrorDoesNotPanic(t *testing.T) {
+	r := smallRunner()
+	res := r.run("no-such-workload", "nonsecure", nil)
+	if res.Cycles != 0 {
+		t.Fatalf("failed run returned a non-zero result: %+v", res)
+	}
+	if len(r.Errors()) != 1 {
+		t.Fatalf("want 1 accumulated error, got %v", r.Errors())
+	}
+	if !strings.Contains(r.Errors()[0].Error(), "no-such-workload") {
+		t.Fatalf("error does not name the workload: %v", r.Errors()[0])
 	}
 }
 

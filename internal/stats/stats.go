@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -140,6 +141,21 @@ func (t *Table) Markdown() string {
 	for _, row := range t.rows {
 		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
 	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV: the header row followed by the
+// data rows. The title is not included — callers that concatenate several
+// tables into one file (paperbench -csv) prefix their own `# title`
+// comment lines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.header)
+	for _, row := range t.rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
 	return b.String()
 }
 

@@ -88,3 +88,19 @@ func TestSortedKeys(t *testing.T) {
 		t.Fatalf("keys %v", got)
 	}
 }
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("Title ignored", "Workload", "Slowdown")
+	tb.AddRow("astar", "5.1%")
+	tb.AddRow(`with,comma`, `with "quote"`)
+	got := tb.CSV()
+	want := "Workload,Slowdown\n" +
+		"astar,5.1%\n" +
+		"\"with,comma\",\"with \"\"quote\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV:\ngot  %q\nwant %q", got, want)
+	}
+	if strings.Contains(got, "Title") {
+		t.Fatal("CSV must not include the title")
+	}
+}

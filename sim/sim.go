@@ -130,6 +130,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Resolved returns the configuration with every default applied — the
+// exact parameters RunWorkload will simulate for this config. Two configs
+// with the same Resolved value (ignoring Trace) produce identical results
+// for the same workload; the campaign engine derives its content-addressed
+// cache keys from it.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 // Result is the measurement record of one run.
 type Result struct {
 	Workload string
