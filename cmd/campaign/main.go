@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/stats"
 	"repro/sim"
 )
 
@@ -75,6 +76,7 @@ run flags:
 
 status/export flags:
   -cache dir          cache directory (default ".campaign")
+  -v                  (status) per-cell rows: wall time, cache hit/miss, IPC
   -csv file           export destination ("-" = stdout, the default)
 
 policies: %s
@@ -187,6 +189,7 @@ func cmdRun(args []string) error {
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
 	cacheDir := fs.String("cache", ".campaign", "cache directory")
+	verbose := fs.Bool("v", false, "per-cell rows: wall time, cache hit/miss, IPC")
 	fs.Parse(args)
 
 	m, ok := campaign.LoadManifest(*cacheDir)
@@ -195,10 +198,50 @@ func cmdStatus(args []string) error {
 	}
 	pending, done, failed := m.Counts()
 	fmt.Printf("campaign %q at %s: %d done, %d failed, %d pending\n", m.Grid, *cacheDir, done, failed, pending)
+	records := m.Records()
+	hits, misses := 0, 0
+	var wall int64
+	for _, rec := range records {
+		if rec.Status != campaign.StatusDone {
+			continue
+		}
+		if rec.Cached {
+			hits++
+		} else {
+			misses++
+		}
+		wall += rec.MS
+	}
+	fmt.Printf("last run: %d cache hit(s), %d simulated, %.1fs total wall time\n", hits, misses, float64(wall)/1000)
 	if cache, err := campaign.OpenCache(*cacheDir); err == nil {
 		if n, err := cache.Len(); err == nil {
 			fmt.Printf("cache: %d result file(s)\n", n)
 		}
+	}
+	if *verbose {
+		t := stats.NewTable("", "Cell", "Status", "Source", "Wall", "IPC")
+		for _, rec := range records {
+			cell := rec.Workload + "/" + string(rec.Policy)
+			if rec.Variant != "" {
+				cell += "/" + rec.Variant
+			}
+			if rec.Seed > 1 {
+				cell += fmt.Sprintf("/seed%d", rec.Seed)
+			}
+			source := "-"
+			if rec.Status == campaign.StatusDone {
+				source = "sim"
+				if rec.Cached {
+					source = "cache"
+				}
+			}
+			ipc := "-"
+			if rec.IPC > 0 {
+				ipc = fmt.Sprintf("%.3f", rec.IPC)
+			}
+			t.AddRow(cell, rec.Status, source, fmt.Sprintf("%dms", rec.MS), ipc)
+		}
+		fmt.Print(t.String())
 	}
 	for _, rec := range m.Failures() {
 		fmt.Printf("  FAILED %s/%s seed %d: %s\n", rec.Workload, rec.Policy, rec.Seed, rec.Err)

@@ -7,13 +7,16 @@
 //	cleanupspec-sim -workload astar -policy cleanupspec -instructions 300000
 //	cleanupspec-sim -list
 //	cleanupspec-sim -workload soplex -compare   # all policies side by side
+//	cleanupspec-sim -workload astar -metrics-out astar.jsonl -trace-out astar.trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/metrics"
 	"repro/sim"
 )
 
@@ -26,6 +29,9 @@ func main() {
 		list         = flag.Bool("list", false, "list workloads and policies")
 		compare      = flag.Bool("compare", false, "run every policy and compare against nonsecure")
 		traceN       = flag.Int("trace", 0, "dump the last N trace events after the run")
+		metricsOut   = flag.String("metrics-out", "", "write the interval time series here (.csv = CSV, else JSONL)")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto) file here")
+		sampleEvery  = flag.Uint64("sample-every", 1000, "metrics sampling interval in cycles")
 	)
 	flag.Parse()
 
@@ -61,8 +67,27 @@ func main() {
 		ring = sim.NewTraceRing(*traceN)
 		cfg.Trace = ring
 	}
+	var col *sim.Metrics
+	if *metricsOut != "" || *traceOut != "" {
+		col = &sim.Metrics{}
+		cfg.Metrics = col
+		cfg.SampleEvery = *sampleEvery
+		if *traceOut != "" && cfg.Trace == nil {
+			// The Perfetto export wants the event stream; retain a large
+			// tail by default when -trace was not given.
+			cfg.Trace = sim.NewTraceRing(1 << 17)
+		}
+	}
 	r, err := sim.RunWorkload(*wl, cfg)
 	check(err)
+	if *metricsOut != "" {
+		check(writeSeries(*metricsOut, col.Samples()))
+		fmt.Fprintf(os.Stderr, "cleanupspec-sim: wrote %d sample(s) to %s\n", len(col.Samples()), *metricsOut)
+	}
+	if *traceOut != "" {
+		check(writeChromeTrace(*traceOut, *wl, cfg, col.Samples()))
+		fmt.Fprintf(os.Stderr, "cleanupspec-sim: wrote Perfetto trace to %s\n", *traceOut)
+	}
 	fmt.Printf("workload:            %s\n", r.Workload)
 	fmt.Printf("policy:              %s\n", r.Policy)
 	fmt.Printf("instructions:        %d\n", r.Instructions)
@@ -84,6 +109,43 @@ func main() {
 			check(err)
 		}
 	}
+}
+
+func writeSeries(path string, samples []sim.MetricSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return metrics.WriteCSV(f, samples)
+	}
+	return metrics.WriteJSONL(f, samples)
+}
+
+func writeChromeTrace(path, wl string, cfg sim.Config, samples []sim.MetricSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return metrics.ExportChromeTrace(f, metrics.ChromeTraceOpts{
+		Process: string(cfg.Resolved().Policy) + "/" + wl,
+		Events:  cfg.Trace.Events(),
+		Samples: samples,
+		Counters: []metrics.CounterSeries{
+			{Name: "ipc", Values: metrics.Rates(samples, "cpu.committed")},
+			{Name: "squash-per-kcycle", Values: scale(metrics.Rates(samples, "cpu.squashes"), 1000)},
+			{Name: "l1d-miss-rate", Values: metrics.RatioDeltas(samples, "l1d.misses", "l1d.accesses")},
+		},
+	})
+}
+
+func scale(vals []float64, by float64) []float64 {
+	for i := range vals {
+		vals[i] *= by
+	}
+	return vals
 }
 
 func check(err error) {

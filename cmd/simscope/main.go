@@ -1,0 +1,336 @@
+// Command simscope is the interactive-grade inspector for instrumented
+// runs: it executes one workload with full metrics attached and renders the
+// run's phase behavior (sparkline time series), its latency/window
+// histograms, and the final counter registry — or inspects a campaign
+// cache's per-cell summaries without re-simulating anything.
+//
+// Usage:
+//
+//	simscope run -workload astar -policy cleanupspec
+//	simscope run -workload mcf -policy cleanupspec -hist all -trace-out mcf.trace.json
+//	simscope campaign -cache .campaign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "simscope: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simscope:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  simscope run      [flags]   run one instrumented workload and inspect it
+  simscope campaign [flags]   inspect a campaign cache's per-cell summaries
+
+run flags:
+  -workload name      workload (default "astar")
+  -policy name        policy (default "cleanupspec")
+  -instructions N     measurement window (default 300000)
+  -seed N             randomization seed (default 1)
+  -sample-every N     sampling interval in cycles (default 500)
+  -width N            sparkline width in columns (default 60)
+  -hist pat           histograms to print: "top" (non-empty ones), "all",
+                      or a name substring (default "top")
+  -counters           also dump the full final counter registry
+  -metrics-out file   write the time series (.csv = CSV, else JSONL)
+  -trace-out file     write a Chrome trace-event (Perfetto) file
+
+campaign flags:
+  -cache dir          cache directory (default ".campaign")
+`)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("simscope run", flag.ExitOnError)
+	var (
+		wl           = fs.String("workload", "astar", "workload name")
+		pol          = fs.String("policy", "cleanupspec", "policy name")
+		instructions = fs.Uint64("instructions", 300_000, "committed instructions to measure")
+		seed         = fs.Uint64("seed", 1, "randomization seed")
+		sampleEvery  = fs.Uint64("sample-every", 500, "sampling interval in cycles")
+		width        = fs.Int("width", 60, "sparkline width in columns")
+		histPat      = fs.String("hist", "top", `histograms: "top", "all", or a name substring`)
+		counters     = fs.Bool("counters", false, "dump the full final counter registry")
+		metricsOut   = fs.String("metrics-out", "", "write the time series here")
+		traceOut     = fs.String("trace-out", "", "write a Perfetto trace here")
+	)
+	fs.Parse(args)
+
+	col := &sim.Metrics{}
+	cfg := sim.Config{
+		Policy:       sim.Policy(*pol),
+		Instructions: *instructions,
+		Seed:         *seed,
+		Metrics:      col,
+		SampleEvery:  *sampleEvery,
+	}
+	if *traceOut != "" {
+		cfg.Trace = sim.NewTraceRing(1 << 17)
+	}
+	r, err := sim.RunWorkload(*wl, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("simscope: %s under %s — %d instructions, %d cycles, IPC %.3f\n\n",
+		r.Workload, r.Policy, r.Instructions, r.Cycles, r.IPC)
+
+	samples := col.Samples()
+	fmt.Printf("phase plot (%d samples, every %d cycles):\n", len(samples), *sampleEvery)
+	plot := func(label string, vals []float64) {
+		vals = downsample(vals, *width)
+		lo, hi := minMax(vals)
+		fmt.Printf("  %-14s %s  [%.3g .. %.3g]\n", label, stats.Sparkline(vals), lo, hi)
+	}
+	plot("IPC", metrics.Rates(samples, "cpu.committed"))
+	plot("squash/kcycle", scale(metrics.Rates(samples, "cpu.squashes"), 1000))
+	plot("L1D miss rate", metrics.RatioDeltas(samples, "l1d.misses", "l1d.accesses"))
+	plot("L2 miss rate", metrics.RatioDeltas(samples, "l2.misses", "l2.accesses"))
+	if gaugeSeries(samples, "mem.pending_txns") != nil {
+		plot("pending txns", gaugeSeries(samples, "mem.pending_txns"))
+	}
+	fmt.Println()
+
+	printHistograms(col.Registry, *histPat)
+
+	if *counters {
+		fmt.Println("counters:")
+		snap := col.Registry.Snapshot()
+		for _, name := range stats.SortedKeys(snap.Counters) {
+			fmt.Printf("  %-32s %d\n", name, snap.Counters[name])
+		}
+		fmt.Println()
+	}
+
+	if *metricsOut != "" {
+		if err := writeSeries(*metricsOut, samples); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d sample(s) to %s\n", len(samples), *metricsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		werr := metrics.ExportChromeTrace(f, metrics.ChromeTraceOpts{
+			Process: string(r.Policy) + "/" + r.Workload,
+			Events:  cfg.Trace.Events(),
+			Samples: samples,
+			Counters: []metrics.CounterSeries{
+				{Name: "ipc", Values: metrics.Rates(samples, "cpu.committed")},
+			},
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Println("wrote Perfetto trace to", *traceOut)
+	}
+	return nil
+}
+
+func printHistograms(reg *metrics.Registry, pat string) {
+	names := reg.Names(metrics.KindHistogram)
+	shown := 0
+	for _, name := range names {
+		h, _ := reg.HistogramByName(name)
+		switch {
+		case pat == "all":
+		case pat == "top":
+			if h.Count() == 0 {
+				continue
+			}
+		default:
+			if !strings.Contains(name, pat) {
+				continue
+			}
+		}
+		fmt.Printf("%s\n%s\n", name, indent(h.String(), "  "))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Printf("no histograms matching %q recorded anything (try -hist all)\n\n", pat)
+	}
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("simscope campaign", flag.ExitOnError)
+	cacheDir := fs.String("cache", ".campaign", "cache directory")
+	fs.Parse(args)
+
+	cache, err := campaign.OpenCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	entries, err := cache.Entries()
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("cache at %s is empty", *cacheDir)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("simscope: %d cached cell(s) at %s", len(entries), *cacheDir),
+		"Cell", "IPC", "Squash/KI", "L1 miss", "Traffic")
+	for _, e := range entries {
+		cell := e.Workload + "/" + string(e.Policy)
+		if e.Variant != "" {
+			cell += "/" + e.Variant
+		}
+		if e.Seed > 1 {
+			cell += fmt.Sprintf("/seed%d", e.Seed)
+		}
+		t.AddRow(cell,
+			fmt.Sprintf("%.3f", e.Result.IPC),
+			fmt.Sprintf("%.2f", e.Result.SquashPKI),
+			fmt.Sprintf("%.2f%%", e.Result.L1MissRate*100),
+			fmt.Sprintf("%d", e.Result.Traffic.Total()))
+	}
+	fmt.Println(t.String())
+
+	// Per-policy IPC profile across workloads (seed 1, base variant): the
+	// campaign-level equivalent of the per-run phase plot.
+	byPolicy := make(map[sim.Policy]map[string]float64)
+	for _, e := range entries {
+		if e.Variant != "" || e.Seed != 1 {
+			continue
+		}
+		if byPolicy[e.Policy] == nil {
+			byPolicy[e.Policy] = make(map[string]float64)
+		}
+		byPolicy[e.Policy][e.Workload] = e.Result.IPC
+	}
+	var policies []string
+	for p := range byPolicy {
+		policies = append(policies, string(p))
+	}
+	sort.Strings(policies)
+	if len(policies) > 0 {
+		fmt.Println("IPC across workloads (sorted by name):")
+		for _, p := range policies {
+			cells := byPolicy[sim.Policy(p)]
+			var vals []float64
+			for _, wl := range stats.SortedKeys(cells) {
+				vals = append(vals, cells[wl])
+			}
+			lo, hi := minMax(vals)
+			fmt.Printf("  %-20s %s  [%.3f .. %.3f] over %d workload(s)\n",
+				p, stats.Sparkline(vals), lo, hi, len(vals))
+		}
+	}
+	return nil
+}
+
+func writeSeries(path string, samples []sim.MetricSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return metrics.WriteCSV(f, samples)
+	}
+	return metrics.WriteJSONL(f, samples)
+}
+
+// downsample shrinks vals to at most width points by averaging fixed-size
+// groups, so long runs still fit one terminal line.
+func downsample(vals []float64, width int) []float64 {
+	if width <= 0 || len(vals) <= width {
+		return vals
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(vals) / width
+		hi := (i + 1) * len(vals) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func gaugeSeries(samples []sim.MetricSample, name string) []float64 {
+	var out []float64
+	found := false
+	for _, s := range samples {
+		v, ok := s.Gauges[name]
+		found = found || ok
+		out = append(out, v)
+	}
+	if !found {
+		return nil
+	}
+	return out
+}
+
+func scale(vals []float64, by float64) []float64 {
+	for i := range vals {
+		vals[i] *= by
+	}
+	return vals
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func indent(s, by string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = by + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,26 @@
+package cache
+
+import "repro/internal/metrics"
+
+// AttachMetrics binds the cache's counters into reg under the given name
+// prefix ("l1d", "l2", ...). The hot path keeps its plain struct-field
+// increments; the registry reads the fields at snapshot time.
+func (c *Cache) AttachMetrics(reg *metrics.Registry, prefix string) {
+	s := &c.Stats
+	reg.BindCounter(prefix+".accesses", &s.Accesses)
+	reg.BindCounter(prefix+".hits", &s.Hits)
+	reg.BindCounter(prefix+".misses", &s.Misses)
+	reg.BindCounter(prefix+".installs", &s.Installs)
+	reg.BindCounter(prefix+".evictions", &s.Evictions)
+	reg.BindCounter(prefix+".writebacks", &s.Writebacks)
+	reg.BindCounter(prefix+".invals", &s.Invals)
+	reg.BindCounter(prefix+".restores", &s.Restores)
+}
+
+// AttachMetrics binds the MSHR's counters and occupancy gauge into reg
+// under the given prefix.
+func (m *MSHR) AttachMetrics(reg *metrics.Registry, prefix string) {
+	reg.BindCounter(prefix+".merges", &m.Merges)
+	reg.BindCounter(prefix+".dropped", &m.Dropped)
+	reg.GaugeFunc(prefix+".occupancy", func() float64 { return float64(m.Len()) })
+}

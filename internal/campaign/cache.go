@@ -32,6 +32,25 @@ type Entry struct {
 	Variant  string     `json:"variant,omitempty"`
 	Seed     uint64     `json:"seed"`
 	Result   sim.Result `json:"result"`
+	// Summary is the cell's headline derived metrics, duplicated out of
+	// Result so `jq .summary` and the simscope inspector can read a cell
+	// without knowing the Result schema. The full counter snapshot lives
+	// in Result.Metrics.
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// Summarize extracts the headline per-cell metrics stored in Entry.Summary.
+func Summarize(res sim.Result) map[string]float64 {
+	return map[string]float64{
+		"ipc":            res.IPC,
+		"cycles":         float64(res.Cycles),
+		"squash_pki":     res.SquashPKI,
+		"l1_miss_rate":   res.L1MissRate,
+		"mispredict":     res.MispredictRate,
+		"traffic_total":  float64(res.Traffic.Total()),
+		"wait_per_sq":    res.WaitPerSquash,
+		"cleanup_per_sq": res.CleanupPerSquash,
+	}
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir.
@@ -79,6 +98,7 @@ func (c *Cache) Put(job Job, res sim.Result) error {
 		Variant:  job.Variant,
 		Seed:     rc.Seed,
 		Result:   res,
+		Summary:  Summarize(res),
 	}
 	data, err := json.MarshalIndent(e, "", " ")
 	if err != nil {

@@ -41,7 +41,11 @@ import (
 // simulator's semantics change in a way that invalidates previously cached
 // results (new policy behavior, changed defaults, new Result fields that
 // matter downstream).
-const SchemaVersion = 1
+//
+// Version 2: Result carries the final metric-registry snapshot
+// (Result.Metrics) and the canonical Config JSON excludes the
+// observability hooks (Trace, Metrics, SampleEvery).
+const SchemaVersion = 2
 
 // Job is one simulation cell: a workload run under a fully specified
 // configuration. Variant is a human-readable label for the config override
@@ -71,7 +75,9 @@ func (j Job) String() string {
 // keyRecord is the canonical byte representation hashed into a key. The
 // resolved config is embedded as a struct, so every field that influences
 // the simulation participates in the hash with a fixed field order; the
-// Trace ring is observation-only and is excluded.
+// observability hooks (Trace, Metrics, SampleEvery) never change outcomes
+// and are excluded — both via their json:"-" tags and by zeroing below, so
+// a future tag regression cannot silently fork cache keys.
 type keyRecord struct {
 	Schema   int        `json:"schema"`
 	Workload string     `json:"workload"`
@@ -88,6 +94,8 @@ type keyRecord struct {
 func Key(wl string, cfg sim.Config) string {
 	rc := cfg.Resolved()
 	rc.Trace = nil // observation-only; does not affect results
+	rc.Metrics = nil
+	rc.SampleEvery = 0
 	blob, err := json.Marshal(keyRecord{Schema: SchemaVersion, Workload: wl, Config: rc})
 	if err != nil {
 		// sim.Config is a plain struct of scalars and *bool; this cannot

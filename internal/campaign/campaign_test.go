@@ -49,11 +49,19 @@ func TestKeyDeterminismAndSensitivity(t *testing.T) {
 		t.Error("explicit defaults must share the implicit-defaults key")
 	}
 
-	// The trace ring is observation-only and must not affect identity.
+	// The observability hooks are observation-only and must not affect
+	// identity: same key with a trace ring, a metrics collector, or a
+	// sampling interval attached.
 	traced := base
 	traced.Trace = sim.NewTraceRing(16)
 	if Key("astar", traced) != k {
 		t.Error("trace ring changed the key")
+	}
+	instrumented := base
+	instrumented.Metrics = &sim.Metrics{}
+	instrumented.SampleEvery = 1000
+	if Key("astar", instrumented) != k {
+		t.Error("metrics collector / sampling interval changed the key")
 	}
 }
 
@@ -83,6 +91,9 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 	if e.Workload != "astar" || e.Policy != sim.NonSecure || e.Seed != 1 {
 		t.Fatalf("entry metadata wrong: %+v", e)
+	}
+	if e.Summary["ipc"] != res.IPC || e.Summary["cycles"] != float64(res.Cycles) {
+		t.Fatalf("entry summary wrong: %+v", e.Summary)
 	}
 
 	// A torn/corrupt entry must read as a miss, not an error.

@@ -110,6 +110,11 @@ func (e *Engine) runJob(job Job) JobResult {
 	)
 	for attempt := 0; attempt <= e.Retries; attempt++ {
 		cfg := job.Config
+		// Every fresh simulation runs instrumented so the cached entry
+		// carries the full counter snapshot (Result.Metrics). Counter
+		// bindings are free on the hot path and no sampler is attached,
+		// so this does not slow the job or change its outcome.
+		cfg.Metrics = &sim.Metrics{}
 		if attempt > 0 && e.RetryMaxCycles > 0 {
 			// Retry under a tighter cycle budget: a deterministic stall
 			// will stall again, and the bounded budget turns it into a

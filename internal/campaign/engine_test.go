@@ -29,7 +29,11 @@ func TestParallelMatchesSerial(t *testing.T) {
 
 	var serial []sim.Result
 	for _, j := range jobs {
-		res, err := sim.RunWorkload(j.Workload, j.Config)
+		cfg := j.Config
+		// The engine runs every cell instrumented; match it so the
+		// comparison also pins the metric snapshots to be identical.
+		cfg.Metrics = &sim.Metrics{}
+		res, err := sim.RunWorkload(j.Workload, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -29,6 +29,7 @@ type JobRecord struct {
 	Cached   bool       `json:"cached,omitempty"`
 	Err      string     `json:"err,omitempty"`
 	Cycles   uint64     `json:"cycles,omitempty"`
+	IPC      float64    `json:"ipc,omitempty"`
 	MS       int64      `json:"ms,omitempty"` // wall-clock milliseconds
 }
 
@@ -105,6 +106,7 @@ func (m *Manifest) Record(r JobResult) {
 		Attempts: r.Attempts,
 		Cached:   r.Cached,
 		Cycles:   r.Result.Cycles,
+		IPC:      r.Result.IPC,
 		MS:       r.Elapsed.Milliseconds(),
 	}
 	if r.Err != nil {
@@ -164,6 +166,31 @@ func (m *Manifest) Counts() (pending, done, failed int) {
 		}
 	}
 	return
+}
+
+// Records returns every job record, sorted by (workload, policy, variant,
+// seed) for stable output (`campaign status -v`).
+func (m *Manifest) Records() []*JobRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*JobRecord, 0, len(m.Jobs))
+	for _, rec := range m.Jobs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		return a.Seed < b.Seed
+	})
+	return out
 }
 
 // Failures returns the failed job records, sorted for stable output.

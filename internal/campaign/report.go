@@ -61,10 +61,18 @@ func SummaryTable(results []JobResult) *stats.Table {
 		slowdown := "-"
 		if len(bySeed) > 0 {
 			var perSeed []float64
+			clamped := 0
 			for _, norms := range bySeed {
-				perSeed = append(perSeed, stats.Geomean(norms))
+				g, c := stats.GeomeanClamped(norms)
+				perSeed = append(perSeed, g)
+				clamped += c
 			}
 			slowdown = fmt.Sprintf("%+.1f%%", stats.Slowdown(stats.Mean(perSeed)))
+			if clamped > 0 {
+				// A clamped cell means some normalized time was zero or
+				// negative — flag the average instead of hiding the cell.
+				slowdown += fmt.Sprintf(" [%d clamped]", clamped)
+			}
 		}
 		variant := k.variant
 		if variant == "" {

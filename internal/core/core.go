@@ -19,6 +19,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 )
 
 // Config tunes the CleanupSpec policy.
@@ -62,6 +63,8 @@ type CleanupSpec struct {
 	cfg Config
 
 	Stats Stats
+
+	restoreLat *metrics.Histogram // nil unless AttachMetrics was called
 }
 
 // New returns a CleanupSpec policy with the paper's configuration.
@@ -252,6 +255,9 @@ func (p *CleanupSpec) cleanupBatch(h *memsys.Hierarchy, coreID, owner int, ops [
 					lat := h.RestoreL1(coreID, op.SEFE, now)
 					if lat > 0 {
 						p.Stats.Restores++
+						if p.restoreLat != nil {
+							p.restoreLat.Observe(uint64(lat))
+						}
 						if installedByBatch[op.SEFE.L1EvictAddr] {
 							batchRestored[op.SEFE.L1EvictAddr] = true
 						}

@@ -1,0 +1,22 @@
+package core
+
+import "repro/internal/metrics"
+
+// AttachMetrics binds the Undo policy's counters into reg under the
+// "cleanup." prefix and registers the cleanup-restore latency histogram
+// observed at each L1 victim restore.
+func (p *CleanupSpec) AttachMetrics(reg *metrics.Registry) {
+	s := &p.Stats
+	reg.BindCounter("cleanup.cleanups", &s.Cleanups)
+	reg.BindCounter("cleanup.free_squashes", &s.CleanupFreeSquashes)
+	reg.BindCounter("cleanup.invals_l1", &s.InvalidationsL1)
+	reg.BindCounter("cleanup.invals_l2", &s.InvalidationsL2)
+	reg.BindCounter("cleanup.restores", &s.Restores)
+	reg.BindCounter("cleanup.skipped_live", &s.SkippedLive)
+	reg.BindCounter("cleanup.skipped_nonspec", &s.SkippedNonSpec)
+	reg.BindCounter("cleanup.dropped_inflight", &s.DroppedInflight)
+	reg.BindCounter("cleanup.executed_cleaned", &s.ExecutedCleaned)
+	reg.BindCounter("cleanup.window_extensions", &s.WindowExtensions)
+	reg.BindCounter("cleanup.loads_observed", &s.LoadsObserved)
+	p.restoreLat = reg.Histogram("cleanup.restore_latency_cycles")
+}

@@ -80,6 +80,11 @@ func (m *Machine) commit() {
 				// The install is architecturally justified now;
 				// window-tracking marks are released (Section 3.6).
 				m.hier.ClearSpecMark(m.cfg.CoreID, lq.Line)
+				window := uint64(m.now - lq.IssuedAt)
+				if m.hists.exposedWindow != nil {
+					m.hists.exposedWindow.Observe(window)
+				}
+				m.emit(trace.KindSpecWindow, lq.Seq, lq.PC, lq.Line, window)
 			}
 			m.freeLQHead(e.lqIdx)
 			m.Stats.LoadsCommitted++

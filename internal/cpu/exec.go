@@ -520,6 +520,18 @@ func (m *Machine) doSquash(cutoff uint64, stopSlot int32, redirectPC arch.Addr) 
 			Inflight: lq.Issued && !lq.Completed && !lq.Forwarded,
 		}
 		squashedLoads = append(squashedLoads, sl)
+		if lq.Issued && !lq.Forwarded && m.hists.loadToSquash != nil {
+			m.hists.loadToSquash.Observe(uint64(m.now - lq.IssuedAt))
+		}
+		if sl.Completed && (sl.SEFE.L1Fill || sl.SEFE.L2Fill) {
+			// The speculative install's exposure window closes here: the
+			// squash hands it to the policy's cleanup.
+			window := uint64(m.now - lq.IssuedAt)
+			if m.hists.exposedWindow != nil {
+				m.hists.exposedWindow.Observe(window)
+			}
+			m.emit(trace.KindSpecWindow, lq.Seq, lq.PC, lq.Line, window)
+		}
 		// Detach the in-flight transaction and optionally drop its fill.
 		if lq.txn != nil {
 			lq.txn.OnDone = nil

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -254,9 +255,22 @@ type Machine struct {
 	cycleBase       arch.Cycle
 	committedBase   uint64
 
-	tracer *trace.Ring
+	tracer  *trace.Ring
+	sampler *metrics.Sampler
+	hists   machineHists
 
 	Stats Stats
+}
+
+// machineHists holds the core's registered histograms; all nil when the
+// machine is uninstrumented, so each observation site costs one nil check.
+type machineHists struct {
+	// loadToSquash is the issue-to-squash distance in cycles of squashed
+	// loads that actually reached the memory system.
+	loadToSquash *metrics.Histogram
+	// exposedWindow is how long a speculative cache install stayed exposed
+	// before its window closed (commit, or the squash that cleaned it).
+	exposedWindow *metrics.Histogram
 }
 
 // New creates a machine. The memory image is initialized from the program.
@@ -327,6 +341,47 @@ func (m *Machine) Halted() bool { return m.halted }
 // Tracing costs one nil-check per event site when detached.
 func (m *Machine) AttachTracer(r *trace.Ring) { m.tracer = r }
 
+// AttachMetrics registers the core's counters and histograms into reg.
+// Every Stats field is bound by pointer — the hot path keeps its plain
+// `Stats.Field++` — and the cycle count is published as a function so the
+// registry always sees the current measurement-window-relative cycle
+// (Stats.Cycles itself is only materialized when Run returns).
+func (m *Machine) AttachMetrics(reg *metrics.Registry) {
+	s := &m.Stats
+	reg.CounterFunc("cpu.cycles", func() uint64 { return uint64(m.now - m.cycleBase) })
+	reg.BindCounter("cpu.committed", &s.Committed)
+	reg.BindCounter("cpu.fetched", &s.Fetched)
+	reg.BindCounter("cpu.loads_committed", &s.LoadsCommitted)
+	reg.BindCounter("cpu.stores_committed", &s.StoresCommitted)
+	reg.BindCounter("cpu.branches_resolved", &s.BranchesResolved)
+	reg.BindCounter("cpu.branches_committed", &s.BranchesCommitted)
+	reg.BindCounter("cpu.mispredicts", &s.Mispredicts)
+	reg.BindCounter("cpu.mispredicts_committed", &s.MispredictsCommitted)
+	reg.BindCounter("cpu.squashes", &s.Squashes)
+	reg.BindCounter("cpu.mem_order_squashes", &s.MemOrderSquashes)
+	reg.BindCounter("cpu.value_mispredicts", &s.ValueMispredicts)
+	reg.BindCounter("cpu.squashed_insts", &s.SquashedInsts)
+	reg.BindCounter("cpu.squashed_loads", &s.SquashedLoads)
+	reg.BindCounter("cpu.squashed_load_ni", &s.SquashedLoadNI)
+	reg.BindCounter("cpu.squashed_load_l1h", &s.SquashedLoadL1H)
+	reg.BindCounter("cpu.squashed_load_l2h", &s.SquashedLoadL2H)
+	reg.BindCounter("cpu.squashed_load_l2m", &s.SquashedLoadL2M)
+	reg.BindCounter("cpu.squashed_inflight", &s.SquashedInflight)
+	reg.BindCounter("cpu.squashed_executed", &s.SquashedExecuted)
+	reg.CounterFunc("cpu.inflight_wait_cycles", func() uint64 { return uint64(s.InflightWaitCycles) })
+	reg.CounterFunc("cpu.cleanup_op_cycles", func() uint64 { return uint64(s.CleanupOpCycles) })
+	reg.BindCounter("cpu.load_delay_stalls", &s.LoadDelayStalls)
+	reg.GaugeFunc("cpu.rob_occupancy", func() float64 { return float64(m.robCount) })
+	reg.GaugeFunc("cpu.lq_occupancy", func() float64 { return float64(m.lqCount) })
+	m.hists.loadToSquash = reg.Histogram("cpu.load_to_squash_cycles")
+	m.hists.exposedWindow = reg.Histogram("cpu.exposed_window_cycles")
+}
+
+// AttachSampler starts interval sampling: the sampler's Tick runs once per
+// simulated cycle with the measurement-window-relative cycle number. The
+// caller flushes it after Run (nil detaches).
+func (m *Machine) AttachSampler(s *metrics.Sampler) { m.sampler = s }
+
 // emit records a trace event if a tracer is attached.
 func (m *Machine) emit(k trace.Kind, seq uint64, pc arch.Addr, line arch.LineAddr, arg uint64) {
 	if m.tracer != nil {
@@ -385,6 +440,12 @@ func (m *Machine) step() {
 	m.retryMem()
 	m.dispatch()
 	m.fetch()
+	if m.sampler != nil {
+		// Sample at end of cycle so the snapshot reflects this cycle's
+		// commits; the cycle number is window-relative, matching the
+		// Stats.Cycles the run ultimately reports.
+		m.sampler.Tick(uint64(m.now - m.cycleBase))
+	}
 }
 
 // --- sequence helpers ---

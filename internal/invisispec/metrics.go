@@ -1,0 +1,13 @@
+package invisispec
+
+import "repro/internal/metrics"
+
+// AttachMetrics binds the Redo baseline's counters into reg under the
+// "inv." prefix.
+func (p *Policy) AttachMetrics(reg *metrics.Registry) {
+	s := &p.Stats
+	reg.BindCounter("inv.invisible_loads", &s.InvisibleLoads)
+	reg.BindCounter("inv.updates", &s.Updates)
+	reg.BindCounter("inv.validations", &s.Validations)
+	reg.BindCounter("inv.exposures", &s.Exposures)
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ceaser"
 	"repro/internal/coherence"
 	"repro/internal/dram"
+	"repro/internal/metrics"
 )
 
 // Level says where in the hierarchy a request was satisfied.
@@ -887,6 +888,42 @@ func (h *Hierarchy) L2RemapStep() (moved int) {
 // the cache state after the paper's 10-billion-instruction fast-forward.
 func (h *Hierarchy) PrewarmL2(line arch.LineAddr) {
 	h.installL2(line, false, 0, 0)
+}
+
+// AttachMetrics registers the hierarchy's counters and gauges into reg:
+// its own Stats and Traffic fields, core 0's L1D, the shared L2, both MSHR
+// levels, the coherence directory, and the DRAM model. Every binding is a
+// pointer to an existing struct field (or a closure over one), so the
+// simulation hot path is untouched; the registry reads the fields only at
+// snapshot time. Per-core breakouts beyond core 0 are intentionally
+// omitted — the single-core experiments dominate, and the shared
+// structures (L2, directory, DRAM) cover the multicore signal.
+func (h *Hierarchy) AttachMetrics(reg *metrics.Registry) {
+	s := &h.Stats
+	reg.BindCounter("mem.loads", &s.Loads)
+	reg.BindCounter("mem.load_l1_hits", &s.LoadL1Hits)
+	reg.BindCounter("mem.load_l2_hits", &s.LoadL2Hits)
+	reg.BindCounter("mem.load_mems", &s.LoadMems)
+	reg.BindCounter("mem.stores", &s.Stores)
+	reg.BindCounter("mem.flushes", &s.Flushes)
+	reg.BindCounter("mem.dropped_fills", &s.DroppedFills)
+	reg.BindCounter("mem.dummy_misses", &s.DummyMisses)
+	reg.BindCounter("mem.restores", &s.Restores)
+	reg.BindCounter("mem.cleanup_invals", &s.CleanupInvals)
+	reg.BindCounter("mem.safe_gets_delays", &s.SafeGetSDelays)
+	t := &h.Traffic
+	reg.BindCounter("traffic.regular", &t.Regular)
+	reg.BindCounter("traffic.invisible", &t.Invisible)
+	reg.BindCounter("traffic.update", &t.Update)
+	reg.BindCounter("traffic.cleanup", &t.Cleanup)
+	reg.BindCounter("traffic.writebacks", &t.Writebacks)
+	reg.GaugeFunc("mem.pending_txns", func() float64 { return float64(h.pending.Len()) })
+	h.l1[0].AttachMetrics(reg, "l1d")
+	h.l1mshr[0].AttachMetrics(reg, "l1d.mshr")
+	h.l2.AttachMetrics(reg, "l2")
+	h.l2mshr.AttachMetrics(reg, "l2.mshr")
+	h.dir.AttachMetrics(reg)
+	h.mem.AttachMetrics(reg)
 }
 
 // ResetTraffic zeroes the traffic counters.

@@ -1,0 +1,118 @@
+package metrics
+
+import "testing"
+
+func testRegistry() (*Registry, *uint64) {
+	reg := NewRegistry()
+	cycles := new(uint64)
+	reg.BindCounter("cycles", cycles)
+	reg.GaugeFunc("occ", func() float64 { return float64(*cycles % 4) })
+	return reg, cycles
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	reg, _ := testRegistry()
+	s := NewSampler(reg, 0)
+	if s != nil {
+		t.Fatal("every=0 must return the nil (disabled) sampler")
+	}
+	// The nil sampler is a valid no-op everywhere the core touches it.
+	s.Tick(100)
+	s.Flush(200)
+	if s.Samples() != nil || s.Every() != 0 {
+		t.Fatal("nil sampler leaked state")
+	}
+}
+
+func TestSamplerShorterThanOneInterval(t *testing.T) {
+	reg, cycles := testRegistry()
+	s := NewSampler(reg, 1000)
+	for c := uint64(1); c <= 42; c++ {
+		*cycles = c
+		s.Tick(c)
+	}
+	if len(s.Samples()) != 0 {
+		t.Fatalf("%d samples before any boundary, want 0", len(s.Samples()))
+	}
+	s.Flush(42)
+	got := s.Samples()
+	if len(got) != 1 || got[0].Cycle != 42 || got[0].Counters["cycles"] != 42 {
+		t.Fatalf("flush of a short run: %+v, want one sample at cycle 42", got)
+	}
+}
+
+func TestSamplerIntervalsAndFinalFlush(t *testing.T) {
+	reg, cycles := testRegistry()
+	s := NewSampler(reg, 10)
+	for c := uint64(1); c <= 25; c++ {
+		*cycles = c
+		s.Tick(c)
+	}
+	if got := s.Samples(); len(got) != 2 || got[0].Cycle != 10 || got[1].Cycle != 20 {
+		t.Fatalf("interval samples: %+v, want cycles 10 and 20", got)
+	}
+	s.Flush(25)
+	got := s.Samples()
+	if len(got) != 3 || got[2].Cycle != 25 {
+		t.Fatalf("after flush: %+v, want final partial sample at 25", got)
+	}
+	// Counters are cumulative: the final sample holds the end-of-run value.
+	if got[2].Counters["cycles"] != 25 {
+		t.Fatalf("final sample counters = %v, want cycles=25", got[2].Counters)
+	}
+	// Gauges ride along on every sample.
+	if _, ok := got[0].Gauges["occ"]; !ok {
+		t.Fatal("sample missing gauge")
+	}
+	// Flush is idempotent for a given final cycle.
+	s.Flush(25)
+	if len(s.Samples()) != 3 {
+		t.Fatal("second flush duplicated the final sample")
+	}
+}
+
+func TestSamplerFlushOnExactBoundary(t *testing.T) {
+	reg, cycles := testRegistry()
+	s := NewSampler(reg, 10)
+	for c := uint64(1); c <= 20; c++ {
+		*cycles = c
+		s.Tick(c)
+	}
+	s.Flush(20)
+	if got := s.Samples(); len(got) != 2 || got[1].Cycle != 20 {
+		t.Fatalf("run ending on a boundary: %+v, want exactly 2 samples", got)
+	}
+}
+
+func TestRates(t *testing.T) {
+	samples := []Sample{
+		{Cycle: 10, Counters: map[string]uint64{"n": 20}},
+		{Cycle: 20, Counters: map[string]uint64{"n": 25}},
+		{Cycle: 25, Counters: map[string]uint64{"n": 25}},
+	}
+	got := Rates(samples, "n")
+	want := []float64{2, 0.5, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rates = %v, want %v", got, want)
+		}
+	}
+	if r := Rates(samples, "missing"); r[0] != 0 || r[1] != 0 {
+		t.Fatalf("missing counter rates = %v, want zeros", r)
+	}
+}
+
+func TestRatioDeltas(t *testing.T) {
+	samples := []Sample{
+		{Cycle: 10, Counters: map[string]uint64{"miss": 2, "acc": 10}},
+		{Cycle: 20, Counters: map[string]uint64{"miss": 7, "acc": 20}},
+		{Cycle: 30, Counters: map[string]uint64{"miss": 7, "acc": 20}},
+	}
+	got := RatioDeltas(samples, "miss", "acc")
+	want := []float64{0.2, 0.5, 0} // denominator stalled in the last interval
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RatioDeltas = %v, want %v", got, want)
+		}
+	}
+}

@@ -14,19 +14,32 @@ import (
 
 // Geomean returns the geometric mean of xs. Non-positive entries are
 // clamped to a tiny positive value so a single zero does not collapse the
-// mean; callers should not normally pass zeros.
+// mean; callers should not normally pass zeros. Use GeomeanClamped when the
+// caller needs to know whether clamping happened (a clamped entry means a
+// pathological cell is being averaged away).
 func Geomean(xs []float64) float64 {
+	g, _ := GeomeanClamped(xs)
+	return g
+}
+
+// GeomeanClamped returns the geometric mean of xs and the number of
+// non-positive entries that had to be clamped to compute it. A non-zero
+// clamp count means the mean is not trustworthy as-is: some cell produced a
+// zero or negative value (a stalled run, a division by zero upstream) and
+// callers should surface it rather than hide it in the average.
+func GeomeanClamped(xs []float64) (geomean float64, clamped int) {
 	if len(xs) == 0 {
-		return 0
+		return 0, 0
 	}
 	sum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
 			x = 1e-12
+			clamped++
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), clamped
 }
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
@@ -199,6 +212,36 @@ func (s *Series) Bars(maxWidth int) string {
 			n = 0
 		}
 		fmt.Fprintf(&b, "%-*s %8.3f %s\n", maxLabel, l, s.Values[i], strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// sparkRunes are the eight block heights used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a one-line unicode block graph scaled to the
+// series' own [min, max] range (a flat series renders as all-low blocks).
+// It is the phase-plot primitive of the simscope inspector.
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[i])
 	}
 	return b.String()
 }

@@ -20,6 +20,33 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+func TestGeomeanClamped(t *testing.T) {
+	g, n := GeomeanClamped([]float64{1, 4})
+	if math.Abs(g-2) > 1e-9 || n != 0 {
+		t.Fatalf("clean input: geomean %v clamped %d", g, n)
+	}
+	if _, n := GeomeanClamped([]float64{0, 1, -2, 3}); n != 2 {
+		t.Fatalf("clamp count %d, want 2", n)
+	}
+	if g, n := GeomeanClamped(nil); g != 0 || n != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline must be empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if got := []rune(s); len(got) != 4 || got[0] != '▁' || got[3] != '█' {
+		t.Fatalf("sparkline %q: want min block first, max block last", s)
+	}
+	// A flat series must not divide by zero and renders all-low.
+	if s := Sparkline([]float64{5, 5, 5}); s != "▁▁▁" {
+		t.Fatalf("flat sparkline %q", s)
+	}
+}
+
 func TestMeanAndSlowdown(t *testing.T) {
 	if Mean([]float64{1, 2, 3}) != 2 {
 		t.Fatal("mean")

@@ -28,13 +28,17 @@ const (
 	KindCleanupRestore
 	KindCommit
 	KindHalt
+	// KindSpecWindow marks the close of a speculative-install exposure
+	// window (commit or cleanup of a load that filled a cache line);
+	// Arg is the window length in cycles, Cycle its end.
+	KindSpecWindow
 )
 
 func (k Kind) String() string {
 	names := [...]string{
 		"fetch-redirect", "load-issue", "load-complete", "load-dropped",
 		"squash", "mem-order-squash", "cleanup-inval", "cleanup-restore",
-		"commit", "halt",
+		"commit", "halt", "spec-window",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -103,15 +107,61 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// Filter returns the retained events of the given kind.
+// Filter returns the retained events of the given kind, in chronological
+// order. The result is sized exactly from a counting pass over the ring, so
+// filtering never pays append's repeated grow-and-copy churn.
 func (r *Ring) Filter(k Kind) []Event {
-	var out []Event
-	for _, e := range r.Events() {
-		if e.Kind == k {
-			out = append(out, e)
+	n := 0
+	for i := range r.buf {
+		if r.buf[i].Kind == k {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	if len(r.buf) < cap(r.buf) {
+		for i := range r.buf {
+			if r.buf[i].Kind == k {
+				out = append(out, r.buf[i])
+			}
+		}
+		return out
+	}
+	for i := r.next; i < len(r.buf); i++ {
+		if r.buf[i].Kind == k {
+			out = append(out, r.buf[i])
+		}
+	}
+	for i := 0; i < r.next; i++ {
+		if r.buf[i].Kind == k {
+			out = append(out, r.buf[i])
 		}
 	}
 	return out
+}
+
+// Last returns the newest n retained events in chronological order (all of
+// them when n exceeds the retained count, nil when n <= 0).
+func (r *Ring) Last(n int) []Event {
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf[len(r.buf)-n:]...)
+	}
+	// Newest event sits just before r.next; take the n events ending there.
+	start := (r.next - n + cap(r.buf)) % cap(r.buf)
+	if start < r.next {
+		return append(out, r.buf[start:r.next]...)
+	}
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:r.next]...)
 }
 
 // WriteTo dumps the retained events.

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMetricsAggregatesMatchResult is the headline observability contract:
+// the final interval sample's cumulative counters must agree exactly with
+// the end-of-run Result — no drift between the time series and the
+// aggregate record.
+func TestMetricsAggregatesMatchResult(t *testing.T) {
+	for _, pol := range []Policy{NonSecure, CleanupSpec} {
+		col := &Metrics{}
+		res, err := RunWorkload("astar", Config{
+			Policy: pol, Instructions: 30_000,
+			Metrics: col, SampleEvery: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := col.Samples()
+		if len(samples) < 2 {
+			t.Fatalf("%s: only %d samples for a 30k-instruction run", pol, len(samples))
+		}
+		final := samples[len(samples)-1]
+		if final.Cycle != res.Cycles {
+			t.Fatalf("%s: final sample at cycle %d, run ended at %d", pol, final.Cycle, res.Cycles)
+		}
+		// The final sample's counters are exactly the Result's counter
+		// snapshot (same registry, read at the same instant).
+		if !reflect.DeepEqual(final.Counters, res.Metrics) {
+			t.Fatalf("%s: final sample counters differ from Result.Metrics", pol)
+		}
+		// And the registry's counters agree with the legacy Result fields.
+		checks := map[string]uint64{
+			"cpu.cycles":      res.Cycles,
+			"cpu.committed":   res.Instructions,
+			"cpu.squashes":    res.CPU.Squashes,
+			"cpu.mispredicts": res.CPU.Mispredicts,
+			"mem.loads":       res.Mem.Loads,
+			"mem.stores":      res.Mem.Stores,
+			"traffic.regular": res.Traffic.Regular,
+		}
+		for name, want := range checks {
+			if got := final.Counters[name]; got != want {
+				t.Errorf("%s: %s = %d in final sample, Result says %d", pol, name, got, want)
+			}
+		}
+		// Monotonicity: cumulative counters never decrease.
+		for i := 1; i < len(samples); i++ {
+			if samples[i].Counters["cpu.committed"] < samples[i-1].Counters["cpu.committed"] {
+				t.Fatalf("%s: cpu.committed decreased between samples %d and %d", pol, i-1, i)
+			}
+		}
+	}
+}
+
+// TestObservabilityDoesNotChangeOutcome pins the acceptance criterion that
+// attaching the registry, sampler, and trace ring changes no simulation
+// outcome: every Result field except the Metrics snapshot must be
+// bit-identical with and without instrumentation.
+func TestObservabilityDoesNotChangeOutcome(t *testing.T) {
+	for _, pol := range []Policy{NonSecure, CleanupSpec, InvisiSpecRevised} {
+		base := Config{Policy: pol, Instructions: 20_000, Seed: 3}
+		plain, err := RunWorkload("gcc", base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instr := base
+		instr.Metrics = &Metrics{}
+		instr.SampleEvery = 500
+		instr.Trace = NewTraceRing(1 << 12)
+		wired, err := RunWorkload("gcc", instr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wired.Metrics = nil // the only field instrumentation is allowed to add
+		if !reflect.DeepEqual(plain, wired) {
+			t.Fatalf("%s: instrumentation changed the simulation outcome:\nplain %+v\nwired %+v", pol, plain, wired)
+		}
+	}
+}
+
+// TestMetricsHistograms checks the paper-specific histograms fill under
+// CleanupSpec: squashed loads produce load-to-squash observations, and
+// speculative fills produce exposed-window observations.
+func TestMetricsHistograms(t *testing.T) {
+	col := &Metrics{}
+	_, err := RunWorkload("astar", Config{
+		Policy: CleanupSpec, Instructions: 50_000, Metrics: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.load_to_squash_cycles", "cpu.exposed_window_cycles"} {
+		h, ok := col.Registry.HistogramByName(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if h.Count() == 0 {
+			t.Errorf("%s recorded nothing on a squash-heavy workload", name)
+		}
+	}
+	// The restore-latency histogram exists under CleanupSpec (it may stay
+	// empty on workloads whose squashed fills are all dropped in flight).
+	if _, ok := col.Registry.HistogramByName("cleanup.restore_latency_cycles"); !ok {
+		t.Fatal("cleanup.restore_latency_cycles not registered under CleanupSpec")
+	}
+}
+
+// TestSamplerDisabledByDefault: Metrics without SampleEvery yields the
+// registry but no time series.
+func TestSamplerDisabledByDefault(t *testing.T) {
+	col := &Metrics{}
+	res, err := RunWorkload("astar", Config{Instructions: 10_000, Metrics: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Sampler != nil || col.Samples() != nil {
+		t.Fatal("SampleEvery=0 must not build a sampler")
+	}
+	if col.Registry == nil || res.Metrics == nil {
+		t.Fatal("registry must still be attached and snapshotted")
+	}
+}
+
+// TestSampleShorterThanInterval: a run shorter than one interval still
+// produces the final flush sample, and it matches the aggregates.
+func TestSampleShorterThanInterval(t *testing.T) {
+	col := &Metrics{}
+	res, err := RunWorkload("astar", Config{
+		Instructions: 5_000, Metrics: col, SampleEvery: 100_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := col.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("%d samples, want exactly the final flush", len(samples))
+	}
+	if samples[0].Cycle != res.Cycles || samples[0].Counters["cpu.committed"] != res.Instructions {
+		t.Fatalf("flush sample %+v does not match result (%d cycles, %d instructions)",
+			samples[0], res.Cycles, res.Instructions)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/invisispec"
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/multicore"
 	"repro/internal/policy"
 	"repro/internal/trace"
@@ -101,8 +102,19 @@ type Config struct {
 	// MaxCycles aborts runaway simulations (default 500M).
 	MaxCycles uint64
 	// Trace, when non-nil, records the run's structured event trace
-	// (squashes, loads, cleanups, commits) into the ring.
-	Trace *TraceRing
+	// (squashes, loads, cleanups, commits) into the ring. Observability
+	// hooks never affect simulation outcomes and are excluded from
+	// campaign cache keys.
+	Trace *TraceRing `json:"-"`
+	// Metrics, when non-nil, is filled with the run's metric registry
+	// (counters, gauges, histograms) and — when SampleEvery is set — the
+	// interval time series. Hand in a zero-value &sim.Metrics{}; after
+	// the run its Registry and Sampler fields are populated.
+	Metrics *Metrics `json:"-"`
+	// SampleEvery, when non-zero and Metrics is set, snapshots every
+	// counter and gauge each SampleEvery cycles of the measurement
+	// window (plus a final flush at the end of the run).
+	SampleEvery uint64 `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -132,9 +144,10 @@ func (c Config) withDefaults() Config {
 
 // Resolved returns the configuration with every default applied — the
 // exact parameters RunWorkload will simulate for this config. Two configs
-// with the same Resolved value (ignoring Trace) produce identical results
-// for the same workload; the campaign engine derives its content-addressed
-// cache keys from it.
+// with the same Resolved value (ignoring the observability hooks Trace,
+// Metrics, and SampleEvery, which never change outcomes) produce identical
+// results for the same workload; the campaign engine derives its
+// content-addressed cache keys from it.
 func (c Config) Resolved() Config { return c.withDefaults() }
 
 // Result is the measurement record of one run.
@@ -165,6 +178,11 @@ type Result struct {
 	Traffic memsys.Traffic
 	CPU     cpu.Stats
 	Mem     memsys.Stats
+
+	// Metrics is the final counter snapshot of the run's metric registry
+	// (nil unless Config.Metrics was set). The last interval sample's
+	// counters equal this map exactly — samples are cumulative.
+	Metrics map[string]uint64 `json:",omitempty"`
 }
 
 // buildPolicy instantiates the policy and its hierarchy configuration.
@@ -280,14 +298,34 @@ func runProgram(name string, prog *Program, cfg Config, prewarm func(*memsys.Hie
 			h.ResetStats()
 		}
 	}
+	// Instrumentation attaches after the warmup reset so histograms and
+	// samples cover exactly the measurement window. Counter bindings are
+	// pointers into the live stat structs, so they need no reset handling.
+	var reg *metrics.Registry
+	var smp *metrics.Sampler
+	if cfg.Metrics != nil {
+		reg = metrics.NewRegistry()
+		m.AttachMetrics(reg)
+		h.AttachMetrics(reg)
+		if pa, ok := pol.(interface{ AttachMetrics(*metrics.Registry) }); ok {
+			pa.AttachMetrics(reg)
+		}
+		smp = metrics.NewSampler(reg, cfg.SampleEvery)
+		if smp != nil {
+			m.AttachSampler(smp)
+		}
+		cfg.Metrics.Registry = reg
+		cfg.Metrics.Sampler = smp
+	}
 	st := m.Run(cfg.Instructions)
 	if !m.Halted() && st.Committed < cfg.Instructions {
 		return Result{}, fmt.Errorf("sim: %s stalled at %d/%d instructions", name, st.Committed, cfg.Instructions)
 	}
-	return makeResult(name, cfg, st, h), nil
+	smp.Flush(st.Cycles)
+	return makeResult(name, cfg, st, h, reg), nil
 }
 
-func makeResult(name string, cfg Config, st cpu.Stats, h *memsys.Hierarchy) Result {
+func makeResult(name string, cfg Config, st cpu.Stats, h *memsys.Hierarchy, reg *metrics.Registry) Result {
 	r := Result{
 		Workload:     name,
 		Policy:       cfg.Policy,
@@ -320,6 +358,9 @@ func makeResult(name string, cfg Config, st cpu.Stats, h *memsys.Hierarchy) Resu
 	if misses := st.SquashedInflight + st.SquashedExecuted; misses > 0 {
 		r.InflightFrac = float64(st.SquashedInflight) / float64(misses)
 		r.ExecutedFrac = float64(st.SquashedExecuted) / float64(misses)
+	}
+	if reg != nil {
+		r.Metrics = reg.Snapshot().Counters
 	}
 	return r
 }
@@ -407,6 +448,15 @@ func RunMTWorkload(name string, steps int) (MTResult, error) {
 	}
 	return MTResult{}, fmt.Errorf("sim: unknown MT workload %q (see sim.MTWorkloads)", name)
 }
+
+// Metrics receives a run's metric registry and interval time series (see
+// Config.Metrics). The underlying types live in internal/metrics; the
+// exporters (WriteJSONL, WriteCSV, ExportChromeTrace) and histogram
+// renderers are reachable through the Registry and Sampler fields.
+type Metrics = metrics.Collector
+
+// MetricSample is one interval snapshot of every counter and gauge.
+type MetricSample = metrics.Sample
 
 // TraceRing records structured execution events (see Config.Trace).
 type TraceRing = trace.Ring
