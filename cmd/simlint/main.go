@@ -1,0 +1,180 @@
+// Command simlint runs the simulator-specific static-analysis suite over
+// this module: determinism (map iteration order, ambient randomness),
+// metrics-completeness (every Stats counter bound to the registry),
+// cache-key purity (every sim.Config field keyed or excluded+zeroed),
+// cycle-typing (latency fields are uint64), and error-discipline (no panic
+// in internal/ outside must* helpers).
+//
+// Usage:
+//
+//	simlint [-json] [-enable a,b] [-disable a,b] [packages]
+//
+// Packages are directory patterns relative to the current directory
+// ("./...", "./internal/campaign", "./internal/..."); the default is the
+// whole module. Exit status is 1 when findings are reported, 2 on a load
+// or usage error, 0 when clean. Suppressions require a justification:
+//
+//	//simlint:ordered -- <why iteration order is irrelevant>
+//	//simlint:allow <analyzer> -- <why this is safe>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-enable a,b] [-disable a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	mod, err := analysis.Load(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	match, err := packageMatcher(cwd, mod, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+
+	findings := analysis.NewRunner(mod).Run(analyzers, match)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			rel := f
+			if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the suite.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	names := func(csv string) (map[string]bool, error) {
+		out := make(map[string]bool)
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if _, ok := analysis.AnalyzerByName(n); !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", n)
+			}
+			out[n] = true
+		}
+		return out, nil
+	}
+	on, err := names(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := names(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analysis.Analyzers() {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// packageMatcher turns CLI patterns into a package predicate. Patterns are
+// directory paths relative to cwd; a trailing /... matches the whole
+// subtree. No patterns (or "./...") selects every package.
+func packageMatcher(cwd string, mod *analysis.Module, patterns []string) (func(*analysis.Package) bool, error) {
+	if len(patterns) == 0 {
+		return nil, nil
+	}
+	type rule struct {
+		dir     string
+		subtree bool
+	}
+	var rules []rule
+	for _, pat := range patterns {
+		r := rule{dir: pat}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			r.subtree = true
+			r.dir = rest
+			if r.dir == "" || r.dir == "." {
+				r.dir = "."
+			}
+		}
+		if !filepath.IsAbs(r.dir) {
+			r.dir = filepath.Join(cwd, r.dir)
+		}
+		r.dir = filepath.Clean(r.dir)
+		rules = append(rules, r)
+	}
+	return func(p *analysis.Package) bool {
+		for _, r := range rules {
+			if p.Dir == r.dir {
+				return true
+			}
+			if r.subtree && strings.HasPrefix(p.Dir, r.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

@@ -1,0 +1,257 @@
+// Package analysis is simlint's engine: a stdlib-only static-analysis
+// driver (go/parser + go/ast + go/types with a recursive source importer —
+// no x/tools dependency) plus the simulator-specific analyzers that keep
+// the repository's headline guarantees machine-checked:
+//
+//   - determinism: no map-order-dependent iteration in simulation or
+//     export paths, and no stray randomness or wall-clock reads outside
+//     the blessed packages — the invariant behind bit-identical parallel
+//     vs serial campaign runs.
+//   - metricscomplete: every exported numeric Stats field reaches the
+//     metrics registry in its package's AttachMetrics, so new counters
+//     cannot silently drop out of simscope/Perfetto exports.
+//   - cachekey: every sim.Config field either participates in the
+//     campaign cache key or is explicitly excluded (json:"-") AND zeroed
+//     in campaign.Key — the bug class that silently forks or aliases
+//     content-addressed cache entries.
+//   - cycletyping: latency/cycle-named fields and parameters are uint64,
+//     preventing silent truncation in latency arithmetic.
+//   - errdiscipline: no panic in internal/ simulation packages outside
+//     must* helpers — failures must flow to the campaign engine as errors.
+//
+// Findings are suppressed only by an explicit source directive with a
+// justification:
+//
+//	//simlint:ordered -- <why iteration order is irrelevant here>
+//	//simlint:allow <analyzer>[,<analyzer>] -- <why this is safe>
+//
+// placed on the offending line or the line directly above it. A directive
+// without a justification is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in presentation order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism,
+		AnalyzerMetricsComplete,
+		AnalyzerCacheKey,
+		AnalyzerCycleTyping,
+		AnalyzerErrDiscipline,
+	}
+}
+
+// AnalyzerByName resolves a name to an analyzer in the suite.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Pass is one (analyzer, package) execution: the analyzer inspects
+// pass.Pkg and reports through pass.Reportf, which applies directive
+// suppression before a finding reaches the driver.
+type Pass struct {
+	Mod      *Module
+	Pkg      *Package
+	analyzer *Analyzer
+	runner   *Runner
+}
+
+// Reportf reports a finding at pos unless a matching //simlint directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	if p.runner.suppressed(p.analyzer.Name, position) {
+		return
+	}
+	p.runner.add(Finding{Analyzer: p.analyzer.Name, Pos: position, Message: fmt.Sprintf(format, args...)})
+}
+
+// directive is one parsed //simlint comment.
+type directive struct {
+	verb      string   // "ordered" or "allow"
+	analyzers []string // for allow
+	reason    string   // text after " -- "
+	pos       token.Position
+}
+
+// suppresses reports whether the directive silences analyzer.
+func (d directive) suppresses(analyzer string) bool {
+	switch d.verb {
+	case "ordered":
+		return analyzer == "determinism"
+	case "allow":
+		for _, a := range d.analyzers {
+			if a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Runner executes analyzers over a module and collects findings.
+type Runner struct {
+	Mod *Module
+
+	// directives maps file name -> line (where the comment ends) ->
+	// parsed directive.
+	directives map[string]map[int]directive
+	findings   []Finding
+}
+
+// NewRunner prepares a runner: it scans every loaded file for //simlint
+// directives, reporting malformed ones immediately under the "directive"
+// pseudo-analyzer (those findings are not suppressible).
+func NewRunner(mod *Module) *Runner {
+	r := &Runner{Mod: mod, directives: make(map[string]map[int]directive)}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			r.scanDirectives(f)
+		}
+	}
+	return r
+}
+
+func (r *Runner) add(f Finding) { r.findings = append(r.findings, f) }
+
+func (r *Runner) suppressed(analyzer string, pos token.Position) bool {
+	lines := r.directives[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := lines[line]; ok && d.suppresses(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanDirectives parses the //simlint comments of one file.
+func (r *Runner) scanDirectives(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//simlint:")
+			if !ok {
+				continue
+			}
+			pos := r.Mod.Fset.Position(c.Pos())
+			end := r.Mod.Fset.Position(c.End())
+			d := directive{pos: pos}
+			body, reason, hasReason := strings.Cut(text, "--")
+			d.reason = strings.TrimSpace(reason)
+			fields := strings.Fields(strings.TrimSpace(body))
+			if len(fields) == 0 {
+				r.add(Finding{Analyzer: "directive", Pos: pos, Message: "empty //simlint directive"})
+				continue
+			}
+			d.verb = fields[0]
+			if d.verb != "ordered" && d.verb != "allow" {
+				r.add(Finding{Analyzer: "directive", Pos: pos,
+					Message: fmt.Sprintf("unknown //simlint directive %q", d.verb)})
+				continue
+			}
+			// A directive without a justification is rejected before its
+			// arguments are even considered: it must never suppress.
+			if !hasReason || d.reason == "" {
+				r.add(Finding{Analyzer: "directive", Pos: pos,
+					Message: fmt.Sprintf("//simlint:%s without a justification (append `-- <why this is safe>`)", d.verb)})
+				continue
+			}
+			switch d.verb {
+			case "ordered":
+				if len(fields) != 1 {
+					r.add(Finding{Analyzer: "directive", Pos: pos,
+						Message: "//simlint:ordered takes no arguments (write //simlint:ordered -- <justification>)"})
+					continue
+				}
+			case "allow":
+				if len(fields) < 2 {
+					r.add(Finding{Analyzer: "directive", Pos: pos,
+						Message: "//simlint:allow needs analyzer names (write //simlint:allow <analyzer> -- <justification>)"})
+					continue
+				}
+				bad := false
+				for _, arg := range fields[1:] {
+					for _, name := range strings.Split(arg, ",") {
+						if name == "" {
+							continue
+						}
+						if _, ok := AnalyzerByName(name); !ok {
+							r.add(Finding{Analyzer: "directive", Pos: pos,
+								Message: fmt.Sprintf("//simlint:allow names unknown analyzer %q", name)})
+							bad = true
+						}
+						d.analyzers = append(d.analyzers, name)
+					}
+				}
+				if bad {
+					continue
+				}
+			}
+			if r.directives[pos.Filename] == nil {
+				r.directives[pos.Filename] = make(map[int]directive)
+			}
+			r.directives[pos.Filename][end.Line] = d
+		}
+	}
+}
+
+// Run executes the analyzers over the packages selected by match (nil
+// selects all) and returns the accumulated findings sorted by position.
+func (r *Runner) Run(analyzers []*Analyzer, match func(*Package) bool) []Finding {
+	for _, pkg := range r.Mod.Pkgs {
+		if match != nil && !match(pkg) {
+			continue
+		}
+		for _, a := range analyzers {
+			a.Run(&Pass{Mod: r.Mod, Pkg: pkg, analyzer: a, runner: r})
+		}
+	}
+	out := r.findings
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// AnalyzerCacheKey guards the campaign cache's content-addressing: every
+// field of sim.Config must either participate in the cache key (it is
+// marshaled into the canonical JSON that campaign.Key hashes) or be
+// explicitly excluded — tagged json:"-" AND zeroed in campaign.Key's
+// resolved copy, so a future tag regression cannot silently fork keys.
+//
+// This is exactly the bug class PR 2 fixed by hand when the observability
+// hooks (Trace, Metrics, SampleEvery) were added to Config: a field that
+// is neither keyed nor excluded either aliases distinct configurations
+// onto one cache slot (wrong results served) or forks identical ones
+// (cache misses forever). The analyzer triggers on any package-level
+// function Key that takes a Config struct from another package, so it
+// also covers the golden-test mini-module.
+var AnalyzerCacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "require every sim.Config field to participate in the campaign cache key or be json:\"-\" and zeroed in campaign.Key",
+	Run:  runCacheKey,
+}
+
+func runCacheKey(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Key" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			named := configParam(fn.Type().(*types.Signature), p.Pkg.Types)
+			if named == nil {
+				continue
+			}
+			cfg := named.Underlying().(*types.Struct)
+			zeroed := assignedConfigFields(p, fd.Body, cfg)
+			for i := 0; i < cfg.NumFields(); i++ {
+				field := cfg.Field(i)
+				if !field.Exported() {
+					p.Reportf(field.Pos(),
+						"unexported Config field %s: encoding/json skips it, so it can never participate in the cache key and cannot be audited; export it or keep it out of Config", field.Name())
+					continue
+				}
+				if jsonTagName(cfg.Tag(i)) != "-" {
+					continue // participates in the canonical JSON — keyed
+				}
+				if !zeroed[field.Name()] {
+					p.Reportf(field.Pos(),
+						"Config.%s is excluded from the cache key (json:\"-\") but not zeroed in %s.Key; zero it there so a tag regression cannot silently fork cache keys", field.Name(), p.Pkg.Types.Name())
+				}
+			}
+		}
+	}
+}
+
+// configParam returns the named struct type of a parameter named-type
+// "Config" declared outside the analyzed package (sim.Config seen from
+// campaign), or nil.
+func configParam(sig *types.Signature, self *types.Package) *types.Named {
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Config" || named.Obj().Pkg() == self {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); ok {
+			return named
+		}
+	}
+	return nil
+}
+
+// assignedConfigFields collects the Config field names assigned (zeroed)
+// anywhere in the Key body, e.g. `rc.Trace = nil`.
+func assignedConfigFields(p *Pass, body *ast.BlockStmt, cfg *types.Struct) map[string]bool {
+	fieldOwner := make(map[*types.Var]bool, cfg.NumFields())
+	for i := 0; i < cfg.NumFields(); i++ {
+		fieldOwner[cfg.Field(i)] = true
+	}
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s, ok := p.Pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok && fieldOwner[v] {
+					out[v.Name()] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// jsonTagName extracts the name part of a struct tag's json key.
+func jsonTagName(tag string) string {
+	v := reflect.StructTag(tag).Get("json")
+	name, _, _ := strings.Cut(v, ",")
+	return name
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerCycleTyping guards latency arithmetic against silent truncation:
+// struct fields and function parameters/results whose names say they hold
+// cycle counts or latencies (…Cycle, …Cycles, …Lat, …Latency, and the
+// conventional lowercase parameter spellings) must be uint64 — directly or
+// through a named type like arch.Cycle whose underlying type is uint64.
+// An int or int32 latency overflows or sign-flips under the simulator's
+// 500M-cycle budgets on 32-bit hosts and converts implicitly in mixed
+// expressions, which is exactly how truncation bugs hide.
+var AnalyzerCycleTyping = &Analyzer{
+	Name: "cycletyping",
+	Doc:  "require *Cycle(s)/*Lat(ency) fields and parameters to be uint64 (directly or via a uint64-underlying named type)",
+	Run:  runCycleTyping,
+}
+
+func runCycleTyping(p *Pass) {
+	rel := p.Pkg.Rel()
+	if !hasPathPrefix(rel, "internal") && !hasPathPrefix(rel, "sim") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				checkFieldList(p, n.Fields, "field")
+			case *ast.FuncDecl:
+				checkFieldList(p, n.Type.Params, "parameter")
+				checkFieldList(p, n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(p, n.Type.Params, "parameter")
+				checkFieldList(p, n.Type.Results, "result")
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldList(p *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		if t == nil || !isNonUint64Integer(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !isCycleName(name.Name) {
+				continue
+			}
+			p.Reportf(name.Pos(),
+				"%s %s holds a cycle count or latency but is %s; make it uint64 (or arch.Cycle) to prevent silent truncation in latency math", kind, name.Name, t)
+		}
+	}
+}
+
+// isCycleName reports whether a field/parameter name declares a cycle
+// count or latency.
+func isCycleName(name string) bool {
+	for _, suffix := range [...]string{"Cycle", "Cycles", "Lat", "Latency"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	switch name {
+	case "lat", "latency", "cycle", "cycles":
+		return true
+	}
+	return false
+}
+
+// isNonUint64Integer reports whether t's underlying type is an integer
+// kind other than uint64 — the truncation-prone latency representations.
+// Float aggregates (average latency in fractional cycles), histograms, and
+// other container types are deliberate representations, not truncation
+// hazards, and are not flagged.
+func isNonUint64Integer(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && b.Kind() != types.Uint64 && b.Kind() != types.Uintptr
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDeterminism guards the simulator's bit-identical-replay
+// contract: the same grid must produce byte-identical exports whether it
+// runs serially, on the worker pool, or across processes.
+//
+// Two violation classes are flagged:
+//
+//  1. Map-order dependence: `for … range m` where m is a map, anywhere
+//     under internal/, sim/, or cmd/. Go randomizes map iteration order,
+//     so any such loop that feeds simulation state or user-visible output
+//     is a nondeterminism hazard. The canonical collect-keys-then-sort
+//     idiom is recognized and allowed; anything else needs
+//     //simlint:ordered -- <justification>.
+//
+//  2. Ambient nondeterminism: importing math/rand (or math/rand/v2), or
+//     calling time.Now, under internal/ or sim/. All simulator randomness
+//     must flow through explicitly seeded internal/xrand generators, and
+//     wall-clock reads are reserved for the campaign reporter's ETA
+//     display (annotated //simlint:allow determinism at those sites).
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-order-dependent iteration and ambient randomness (math/rand, time.Now) in simulation and export paths",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	rel := p.Pkg.Rel()
+	randScope := hasPathPrefix(rel, "internal") || hasPathPrefix(rel, "sim")
+	mapScope := randScope || hasPathPrefix(rel, "cmd") || rel == ""
+	if !mapScope {
+		return
+	}
+	xrandPkg := rel == "internal/xrand"
+
+	for _, f := range p.Pkg.Files {
+		if randScope && !xrandPkg {
+			for _, imp := range f.Imports {
+				switch strings.Trim(imp.Path.Value, `"`) {
+				case "math/rand", "math/rand/v2":
+					p.Reportf(imp.Pos(), "import of %s: simulator randomness must flow through explicitly seeded internal/xrand generators", imp.Path.Value)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := p.Pkg.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !isSortedKeysIdiom(p, n) {
+						p.Reportf(n.Pos(), "range over map %s: iteration order is randomized; sort the keys first or annotate //simlint:ordered -- <why order is irrelevant>", exprString(n.X))
+					}
+				}
+			case *ast.CallExpr:
+				if randScope && isPkgFunc(p, n.Fun, "time", "Now") {
+					p.Reportf(n.Pos(), "time.Now in a simulation package: wall-clock reads are nondeterministic; pass cycle counts (or annotate //simlint:allow determinism for reporting-only code)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether fun is a selector pkgName.funcName resolving to
+// the package with the given import path suffix.
+func isPkgFunc(p *Pass, fun ast.Expr, pkgPath, funcName string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// isSortedKeysIdiom recognizes the canonical deterministic map-iteration
+// pattern: a range loop whose body only appends to one or more slices,
+// where every appended-to slice is later passed to a sort.* or slices.*
+// call inside the same enclosing function:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys) // or sort.Slice(keys, …), slices.Sort(keys), …
+func isSortedKeysIdiom(p *Pass, rng *ast.RangeStmt) bool {
+	appended := appendTargets(rng.Body)
+	if len(appended) == 0 {
+		return false
+	}
+	fn := enclosingFunc(p, rng)
+	if fn == nil {
+		return false
+	}
+	for name := range appended { //simlint:ordered -- every target must pass; the conjunction is order-independent
+		if !sortedLater(p, fn, rng, name) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTargets returns the names of local slices the loop body appends to,
+// or nil if the body does anything other than plain `x = append(x, …)`
+// statements, optionally wrapped in else-less `if` filters (the
+// filter-then-sort variant of the idiom).
+func appendTargets(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	for _, stmt := range body.List {
+		if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil {
+			inner := appendTargets(ifs.Body)
+			if inner == nil {
+				return nil
+			}
+			for name := range inner { //simlint:ordered -- merging into a set; no order dependence
+				out[name] = true
+			}
+			continue
+		}
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return nil
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return nil
+		}
+		out[lhs.Name] = true
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// sortedLater reports whether, after the range statement, the enclosing
+// function calls into package sort or slices with `name` among the
+// arguments.
+func sortedLater(p *Pass, fn ast.Node, rng *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := arg.(*ast.Ident); ok && aid.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit containing n.
+func enclosingFunc(p *Pass, n ast.Node) ast.Node {
+	for _, f := range p.Pkg.Files {
+		if f.Pos() <= n.Pos() && n.End() <= f.End() {
+			var best ast.Node
+			ast.Inspect(f, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					if m.Pos() <= n.Pos() && n.End() <= m.End() {
+						best = m
+					}
+				}
+				return true
+			})
+			return best
+		}
+	}
+	return nil
+}
+
+// exprString renders a short source form of simple expressions for
+// messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	}
+	return "expression"
+}
+
+// hasPathPrefix reports whether rel is under the given top-level path
+// segment ("internal", "sim", "cmd").
+func hasPathPrefix(rel, seg string) bool {
+	return rel == seg || strings.HasPrefix(rel, seg+"/")
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrDiscipline guards the campaign engine's no-panic contract
+// (PR 1): a failed simulation cell must come back to the engine as an
+// error to be retried, recorded in the manifest, and listed by paperbench
+// — not tear down the whole worker pool. Under internal/, calls to the
+// panic builtin are flagged unless the enclosing function is a must*
+// helper (a function whose documented contract is to panic on programmer
+// error). Deliberate construction-time invariant checks keep their panics
+// behind //simlint:allow errdiscipline -- <justification>.
+var AnalyzerErrDiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "forbid panic in internal/ simulation packages outside must* helpers",
+	Run:  runErrDiscipline,
+}
+
+func runErrDiscipline(p *Pass) {
+	if !hasPathPrefix(p.Pkg.Rel(), "internal") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isMustName(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, builtin := p.Pkg.Info.Uses[id].(*types.Builtin); !builtin {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"panic in a simulation package: return an error so the campaign engine can retry and record the cell (or move it into a must* helper / annotate //simlint:allow errdiscipline -- <why>)")
+				return true
+			})
+		}
+	}
+}
+
+// isMustName reports whether name marks a helper whose documented contract
+// is to panic (mustX, MustX).
+func isMustName(name string) bool {
+	return strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") || name == "init"
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module: the unit simlint
+// analyzes. All packages share one token.FileSet, so a finding in any file
+// (including a finding one analyzer reports into another package's source,
+// as the cache-key analyzer does) resolves to a stable file:line:col.
+type Module struct {
+	Root string // absolute module root (directory containing go.mod)
+	Path string // module path from the go.mod module directive
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+
+	byPath map[string]*Package
+}
+
+// Package is one loaded package of the module.
+type Package struct {
+	PkgPath string // full import path ("repro/internal/cache")
+	Dir     string // absolute directory
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	mod *Module
+}
+
+// Rel returns the package's path relative to the module root ("" for the
+// root package, "internal/cache", "cmd/simlint", ...). Analyzers scope
+// themselves with it, so they work identically on the real module and on
+// the testdata mini-modules used by the golden tests.
+func (p *Package) Rel() string {
+	if p.PkgPath == p.mod.Path {
+		return ""
+	}
+	return strings.TrimPrefix(p.PkgPath, p.mod.Path+"/")
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mp := strings.TrimSpace(rest)
+			mp = strings.Trim(mp, `"`)
+			if mp != "" {
+				return mp, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load parses and type-checks every package under the module rooted at (or
+// above) dir, using only the standard library: go/parser for syntax, and
+// go/types with a recursive source importer for semantics. Module-internal
+// imports are resolved by mapping import paths onto the module tree;
+// everything else (the standard library) goes through the compiler's source
+// importer. Test files are skipped — simlint checks shipped simulator code,
+// and the testdata golden packages carry `// want` comments that must not
+// be subject to linting themselves.
+func Load(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{
+		Root:   root,
+		Path:   mpath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		pkg, err := mod.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			mod.Pkgs = append(mod.Pkgs, pkg)
+			mod.byPath[pkg.PkgPath] = pkg
+		}
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].PkgPath < mod.Pkgs[j].PkgPath })
+
+	imp := &moduleImporter{
+		mod:      mod,
+		std:      importer.ForCompiler(mod.Fset, "source", nil),
+		inflight: make(map[string]bool),
+	}
+	for _, pkg := range mod.Pkgs {
+		if err := imp.check(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return mod, nil
+}
+
+// packageDirs returns every directory under root that contains at least one
+// non-test .go file, sorted. testdata trees, hidden directories, and vendor
+// are skipped, mirroring the go tool's package enumeration.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test files of one directory. Returns nil if the
+// directory holds no buildable files.
+func (m *Module) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := m.Path
+	if rel != "." {
+		pkgPath = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, mod: m}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// moduleImporter resolves imports during type checking: module-internal
+// paths recurse into the module's own parsed packages (with cycle
+// detection); all other paths — the standard library — are delegated to the
+// compiler's source importer.
+type moduleImporter struct {
+	mod      *Module
+	std      types.Importer
+	inflight map[string]bool
+}
+
+func (imp *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == imp.mod.Path || strings.HasPrefix(path, imp.mod.Path+"/") {
+		pkg, ok := imp.mod.byPath[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: import %q not found in module %s", path, imp.mod.Path)
+		}
+		if err := imp.check(pkg); err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return imp.std.Import(path)
+}
+
+// check type-checks pkg (idempotent; recursion through Import handles
+// dependencies first).
+func (imp *moduleImporter) check(pkg *Package) error {
+	if pkg.Types != nil {
+		return nil
+	}
+	if imp.inflight[pkg.PkgPath] {
+		return fmt.Errorf("analysis: import cycle through %s", pkg.PkgPath)
+	}
+	imp.inflight[pkg.PkgPath] = true
+	defer delete(imp.inflight, pkg.PkgPath)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.PkgPath, imp.mod.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.PkgPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

@@ -1,0 +1,3 @@
+module example.com/lint
+
+go 1.22

@@ -1,0 +1,24 @@
+// Package campaign is the cachekey analyzer's golden Key implementation.
+package campaign
+
+import (
+	"encoding/json"
+
+	"example.com/lint/sim"
+)
+
+// Key canonicalizes cfg and hashes it — but forgets to zero Config.Metrics
+// and cannot see Config.hidden at all; the analyzer reports both at their
+// field declarations in package sim.
+func Key(wl string, cfg sim.Config) string {
+	rc := cfg
+	rc.Trace = nil
+	blob, err := json.Marshal(struct {
+		Workload string
+		Config   sim.Config
+	}{wl, rc})
+	if err != nil {
+		return ""
+	}
+	return string(blob)
+}

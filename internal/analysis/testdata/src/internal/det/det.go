@@ -1,0 +1,68 @@
+// Package det is the determinism analyzer's golden input.
+package det
+
+import (
+	"math/rand" // want `import of "math/rand": simulator randomness must flow through explicitly seeded internal/xrand generators`
+	"sort"
+	"time"
+)
+
+// BadSum iterates a map directly: order-dependent float accumulation.
+func BadSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map m: iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// GoodSorted uses the collect-then-sort idiom and is not flagged.
+func GoodSorted(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodFiltered uses the filter-then-sort variant and is not flagged.
+func GoodFiltered(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodAnnotated carries an ordered directive with a justification.
+func GoodAnnotated(m map[string]int) int {
+	n := 0
+	//simlint:ordered -- counting is commutative
+	for range m {
+		n++
+	}
+	return n
+}
+
+// BadUnsorted collects keys but never sorts them.
+func BadUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m: iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadClock reads the wall clock inside a simulation package.
+func BadClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a simulation package`
+}
+
+// BadRand uses global math/rand state.
+func BadRand() int {
+	return rand.Int()
+}

@@ -1,0 +1,45 @@
+// Package errd is the errdiscipline analyzer's golden input.
+package errd
+
+import "errors"
+
+// Divide panics instead of returning an error: flagged.
+func Divide(a, b int) int {
+	if b == 0 {
+		panic("divide by zero") // want `panic in a simulation package`
+	}
+	return a / b
+}
+
+// DivideErr is the sanctioned shape.
+func DivideErr(a, b int) (int, error) {
+	if b == 0 {
+		return 0, errors.New("divide by zero")
+	}
+	return a / b, nil
+}
+
+// mustPositive is a must* helper: its documented contract is to panic.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}
+
+// Capacity relies on the allowed helper and an annotated invariant.
+func Capacity(n int) int {
+	n = mustPositive(n)
+	if n > 1<<20 {
+		//simlint:allow errdiscipline -- construction-time bound check in the golden input
+		panic("capacity too large")
+	}
+	return n
+}
+
+// badDirective carries a directive without a justification, which is
+// itself reported (and therefore does not suppress the panic).
+func badDirective() {
+	//simlint:allow errdiscipline // want `//simlint:allow without a justification`
+	panic("unjustified") // want `panic in a simulation package`
+}

@@ -1,0 +1,16 @@
+// Package metrics is a minimal stand-in for the real registry so the
+// metricscomplete golden packages type-check without importing the repro
+// module. The analyzer matches the *Registry parameter by type name.
+package metrics
+
+// Registry mirrors repro/internal/metrics.Registry's binding surface.
+type Registry struct{}
+
+// BindCounter mirrors the real pointer-binding registration.
+func (r *Registry) BindCounter(name string, p *uint64) {}
+
+// CounterFunc mirrors the real on-demand counter registration.
+func (r *Registry) CounterFunc(name string, f func() uint64) {}
+
+// GaugeFunc mirrors the real gauge registration.
+func (r *Registry) GaugeFunc(name string, f func() float64) {}

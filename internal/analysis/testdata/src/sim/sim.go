@@ -1,0 +1,24 @@
+// Package sim is the cachekey analyzer's golden Config definition; the
+// Key function under inspection lives in example.com/lint/internal/campaign.
+package sim
+
+// Trace is an observability hook type.
+type Trace struct{}
+
+// Metrics is an observability hook type.
+type Metrics struct{}
+
+// Config mirrors the real sim.Config shape: keyed scalar fields plus
+// observability hooks that must be excluded AND zeroed.
+type Config struct {
+	Policy       string
+	Instructions uint64
+	Seed         uint64
+
+	// Zeroed correctly in campaign.Key.
+	Trace *Trace `json:"-"`
+	// Excluded from the canonical JSON but never zeroed in Key.
+	Metrics *Metrics `json:"-"` // want `Config.Metrics is excluded from the cache key \(json:"-"\) but not zeroed`
+	// Unexported: encoding/json skips it silently.
+	hidden uint64 // want `unexported Config field hidden`
+}

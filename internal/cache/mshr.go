@@ -84,6 +84,7 @@ type MSHR struct {
 // NewMSHR creates an MSHR with capacity entries.
 func NewMSHR(name string, capacity int) *MSHR {
 	if capacity <= 0 {
+		//simlint:allow errdiscipline -- construction-time capacity validation; a bad config is a programmer error caught before any simulation runs
 		panic(fmt.Sprintf("mshr %s: capacity %d", name, capacity))
 	}
 	return &MSHR{name: name, cap: capacity, entries: make(map[arch.LineAddr]*MSHREntry, capacity)}
@@ -171,6 +172,7 @@ func (m *MSHR) SquashWaiter(line arch.LineAddr, waiter uint64) bool {
 // that squash an entire context. It returns the number squashed.
 func (m *MSHR) SquashEpoch(keep uint8) int {
 	n := 0
+	//simlint:ordered -- every mismatched-epoch entry is squashed independently; no cross-entry state or output depends on visit order
 	for line, e := range m.entries {
 		if e.SEFE.EpochID != keep {
 			e.Squashed = true
@@ -186,6 +188,7 @@ func (m *MSHR) SquashEpoch(keep uint8) int {
 // Entries returns the live entries (order unspecified); tests only.
 func (m *MSHR) Entries() []*MSHREntry {
 	out := make([]*MSHREntry, 0, len(m.entries))
+	//simlint:ordered -- test-only accessor documented as order-unspecified; callers sort or count
 	for _, e := range m.entries {
 		out = append(out, e)
 	}

@@ -45,7 +45,11 @@ import (
 // Version 2: Result carries the final metric-registry snapshot
 // (Result.Metrics) and the canonical Config JSON excludes the
 // observability hooks (Trace, Metrics, SampleEvery).
-const SchemaVersion = 2
+//
+// Version 3: the MSHR binds its full counter set (allocs, full, squashes
+// joined merges and dropped), so cached Result.Metrics snapshots from
+// earlier versions are missing keys.
+const SchemaVersion = 3
 
 // Job is one simulation cell: a workload run under a fully specified
 // configuration. Variant is a human-readable label for the config override
@@ -100,6 +104,7 @@ func Key(wl string, cfg sim.Config) string {
 	if err != nil {
 		// sim.Config is a plain struct of scalars and *bool; this cannot
 		// fail for any value a caller can construct.
+		//simlint:allow errdiscipline -- unreachable: canonical JSON of a plain scalar struct cannot fail
 		panic(fmt.Sprintf("campaign: canonicalizing config: %v", err))
 	}
 	sum := sha256.Sum256(blob)

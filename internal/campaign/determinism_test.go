@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/sim"
+)
+
+// runGrid executes the grid with the given worker count against a fresh
+// cache dir and returns every deterministic export surface rendered to
+// bytes: the per-job CSV, the normalized summary table (text and CSV),
+// and the cache's entries as canonical JSON + CSV.
+func runGrid(t *testing.T, g Grid, workers int) (resultsCSV, summaryTxt, summaryCSV, entriesJSON, entriesCSV string) {
+	t.Helper()
+	eng := NewEngine()
+	eng.Workers = workers
+	eng.Reporter = NewReporter(io.Discard)
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Cache = cache
+
+	results := eng.Run(g.Jobs())
+	if n := len(Failed(results)); n != 0 {
+		t.Fatalf("%d jobs failed", n)
+	}
+
+	var csvBuf strings.Builder
+	if err := ResultsCSV(&csvBuf, results); err != nil {
+		t.Fatal(err)
+	}
+	table := SummaryTable(results)
+
+	entries, err := cache.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.MarshalIndent(entries, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entriesBuf strings.Builder
+	if err := EntriesCSV(&entriesBuf, entries); err != nil {
+		t.Fatal(err)
+	}
+	return csvBuf.String(), table.String(), table.CSV(), string(blob), entriesBuf.String()
+}
+
+// TestExportsBitIdenticalAcrossWorkerCounts is the regression test behind
+// the determinism lint: the same grid, run serially, serially again, and
+// on a 4-worker pool — each against its own cold cache — must render
+// byte-identical CSV, summary-table, and cache-export output. The summary
+// table is the sharpest check: its normalized means are float
+// accumulations, so even a map-order iteration difference in the last bit
+// shows up here.
+func TestExportsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	g := Grid{
+		Name:         "det",
+		Workloads:    []string{"gcc", "lbm"},
+		Policies:     []sim.Policy{sim.NonSecure, sim.CleanupSpec},
+		Seeds:        []uint64{1, 2},
+		Instructions: 2_000,
+	}
+
+	type run struct{ name, resultsCSV, summaryTxt, summaryCSV, entriesJSON, entriesCSV string }
+	var runs []run
+	for _, r := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"serial-again", 1}, {"parallel-4", 4}} {
+		a, b, c, d, e := runGrid(t, g, r.workers)
+		runs = append(runs, run{r.name, a, b, c, d, e})
+	}
+
+	base := runs[0]
+	if !strings.Contains(base.resultsCSV, "gcc") || len(strings.Split(strings.TrimSpace(base.resultsCSV), "\n")) != 1+len(g.Jobs()) {
+		t.Fatalf("results CSV malformed:\n%s", base.resultsCSV)
+	}
+	for _, r := range runs[1:] {
+		if r.resultsCSV != base.resultsCSV {
+			t.Errorf("%s: results CSV differs from %s", r.name, base.name)
+		}
+		if r.summaryTxt != base.summaryTxt {
+			t.Errorf("%s: summary table differs from %s:\n%s\nvs\n%s", r.name, base.name, r.summaryTxt, base.summaryTxt)
+		}
+		if r.summaryCSV != base.summaryCSV {
+			t.Errorf("%s: summary CSV differs from %s", r.name, base.name)
+		}
+		if r.entriesJSON != base.entriesJSON {
+			t.Errorf("%s: cache entries JSON differs from %s", r.name, base.name)
+		}
+		if r.entriesCSV != base.entriesCSV {
+			t.Errorf("%s: cache entries CSV differs from %s", r.name, base.name)
+		}
+	}
+}
+
+// TestSampledJSONLBitIdentical pins the interval-sampled metrics export:
+// the same instrumented cell run twice must produce byte-identical JSONL
+// time series (cycle stamps, counter values, and key order).
+func TestSampledJSONLBitIdentical(t *testing.T) {
+	render := func() []byte {
+		cfg := sim.Config{
+			Policy:       sim.CleanupSpec,
+			Instructions: 2_000,
+			Seed:         7,
+			Metrics:      &sim.Metrics{},
+			SampleEvery:  200,
+		}
+		if _, err := sim.RunWorkload("gcc", cfg); err != nil {
+			t.Fatal(err)
+		}
+		samples := cfg.Metrics.Samples()
+		if len(samples) == 0 {
+			t.Fatal("sampler recorded nothing")
+		}
+		var buf bytes.Buffer
+		if err := metrics.WriteJSONL(&buf, samples); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("JSONL export differs between identical runs:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -99,7 +99,7 @@ func (e *Engine) RunOne(job Job) (res sim.Result, cached bool, err error) {
 
 func (e *Engine) runJob(job Job) JobResult {
 	key := job.Key()
-	start := time.Now()
+	start := time.Now() //simlint:allow determinism -- JobResult.Elapsed is reporting metadata for the progress line, not part of any result or key
 	if res, ok := e.lookup(key); ok {
 		return JobResult{Job: job, Key: key, Result: res, Cached: true, Elapsed: time.Since(start)}
 	}

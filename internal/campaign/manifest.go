@@ -155,6 +155,7 @@ func (m *Manifest) Save() error {
 func (m *Manifest) Counts() (pending, done, failed int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	//simlint:ordered -- integer status counting is commutative
 	for _, rec := range m.Jobs {
 		switch rec.Status {
 		case StatusDone:

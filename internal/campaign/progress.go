@@ -33,7 +33,7 @@ func (r *Reporter) Start(total int) {
 	defer r.mu.Unlock()
 	r.total = total
 	r.done, r.cached, r.failed = 0, 0, 0
-	r.start = time.Now()
+	r.start = time.Now() //simlint:allow determinism -- wall-clock ETA display on stderr; never feeds results or cache keys
 }
 
 // JobDone records one completion and prints a progress line.

@@ -60,10 +60,18 @@ func SummaryTable(results []JobResult) *stats.Table {
 		}
 		slowdown := "-"
 		if len(bySeed) > 0 {
+			// Iterate seeds in sorted order: float accumulation is not
+			// associative, so a map-order mean could differ in the last
+			// bit between two runs of the same campaign.
+			seedKeys := make([]uint64, 0, len(bySeed))
+			for seed := range bySeed {
+				seedKeys = append(seedKeys, seed)
+			}
+			sort.Slice(seedKeys, func(i, j int) bool { return seedKeys[i] < seedKeys[j] })
 			var perSeed []float64
 			clamped := 0
-			for _, norms := range bySeed {
-				g, c := stats.GeomeanClamped(norms)
+			for _, seed := range seedKeys {
+				g, c := stats.GeomeanClamped(bySeed[seed])
 				perSeed = append(perSeed, g)
 				clamped += c
 			}

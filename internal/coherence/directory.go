@@ -90,6 +90,7 @@ type Directory struct {
 // NewDirectory creates a directory for cores cores (max 64).
 func NewDirectory(cores int) *Directory {
 	if cores <= 0 || cores > 64 {
+		//simlint:allow errdiscipline -- construction-time core-count validation; a bad config is a programmer error caught before any simulation runs
 		panic(fmt.Sprintf("coherence: bad core count %d", cores))
 	}
 	return &Directory{cores: cores, entries: make(map[arch.LineAddr]*entry)}
@@ -109,6 +110,7 @@ func (d *Directory) get(l arch.LineAddr) *entry {
 
 func (d *Directory) checkCore(core int) {
 	if core < 0 || core >= d.cores {
+		//simlint:allow errdiscipline -- protocol invariant: an out-of-range core id means the simulator state is already corrupt
 		panic(fmt.Sprintf("coherence: core %d out of range [0,%d)", core, d.cores))
 	}
 }
@@ -283,6 +285,7 @@ func (d *Directory) Flush(l arch.LineAddr) []int {
 // single-writer (an owner excludes all sharers) and sharer masks within the
 // configured core count. It returns the first violation found.
 func (d *Directory) Check() error {
+	//simlint:ordered -- invariant sweep returns an arbitrary first violation; which one is reported never affects simulation state
 	for l, e := range d.entries {
 		if e.owner >= d.cores {
 			return fmt.Errorf("line %v: owner %d out of range", l, e.owner)

@@ -142,6 +142,7 @@ func (m *Machine) execute(slot int32) bool {
 			m.memRetry = append(m.memRetry, e.lqIdx)
 		}
 	default:
+		//simlint:allow errdiscipline -- decode invariant: ops are validated at assembly; an unknown op here is unreachable
 		panic("cpu: unhandled op " + in.Op.String())
 	}
 	return true

@@ -159,6 +159,7 @@ type sqEntry struct {
 
 // Stats counts core events.
 type Stats struct {
+	//simlint:allow metricscomplete -- Cycles is only materialized when Run returns; the live value is published as the cpu.cycles CounterFunc
 	Cycles    uint64
 	Committed uint64
 	Fetched   uint64
@@ -276,6 +277,7 @@ type machineHists struct {
 // New creates a machine. The memory image is initialized from the program.
 func New(cfg Config, prog *isa.Program, hier *memsys.Hierarchy, pol Policy) *Machine {
 	if cfg.ROBSize <= 0 || cfg.LQSize <= 0 || cfg.SQSize <= 0 {
+		//simlint:allow errdiscipline -- construction-time queue-size validation; a bad config is a programmer error caught before any simulation runs
 		panic("cpu: bad queue sizes")
 	}
 	if pol == nil {
@@ -410,6 +412,7 @@ func (m *Machine) Run(maxInstructions uint64) Stats {
 		}
 		m.step()
 		if m.now-m.lastCommitCycle > 200000 {
+			//simlint:allow errdiscipline -- deadlock watchdog: a 200k-cycle commit stall is a model bug, and the panic stack at the stall is the debugging artifact
 			panic(fmt.Sprintf("cpu: no commit for 200k cycles at cycle %d (pc=%v, robCount=%d, head=%+v)",
 				m.now, m.fetchPC, m.robCount, m.rob[m.robHead]))
 		}

@@ -75,6 +75,7 @@ type Ring struct {
 // NewRing creates a ring holding the last capacity events.
 func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
+		//simlint:allow errdiscipline -- construction-time capacity validation; a bad config is a programmer error caught before any simulation runs
 		panic("trace: capacity must be positive")
 	}
 	return &Ring{buf: make([]Event, 0, capacity)}
