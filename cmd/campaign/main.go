@@ -10,6 +10,7 @@
 //	campaign run    -workloads astar,gcc -policies nonsecure,cleanupspec
 //	campaign status -cache .campaign
 //	campaign export -cache .campaign -csv all.csv
+//	campaign fsck   -cache .campaign -prune
 //
 // Grids: all | paper | headline | quick (see internal/campaign.GridByName).
 // The cache directory is shared with `paperbench -cache`: a paperbench
@@ -41,6 +42,8 @@ func main() {
 		err = cmdStatus(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
+	case "fsck":
+		err = cmdFsck(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -62,6 +65,7 @@ func usage() {
   campaign run    [flags]   expand a grid and run the missing cells
   campaign status [flags]   show per-job status from a cache's manifest
   campaign export [flags]   dump every cached result as CSV
+  campaign fsck   [flags]   scan a cache for corrupt/orphaned entries
 
 run flags:
   -grid name          predefined grid: %s (default "headline")
@@ -78,6 +82,11 @@ status/export flags:
   -cache dir          cache directory (default ".campaign")
   -v                  (status) per-cell rows: wall time, cache hit/miss, IPC
   -csv file           export destination ("-" = stdout, the default)
+
+fsck flags:
+  -cache dir          cache directory (default ".campaign")
+  -prune              delete corrupt entries and orphaned temp files
+                      (pruned cells simply re-simulate on the next run)
 
 policies: %s
 `, strings.Join(campaign.GridNames(), "|"), runtime.GOMAXPROCS(0), policyNames())
@@ -141,15 +150,22 @@ func cmdRun(args []string) error {
 	if *cacheDir != "" {
 		cache, err := campaign.OpenCache(*cacheDir)
 		if err != nil {
-			return err
+			// Graceful degradation: an unopenable cache dir (bad perms,
+			// read-only volume) should not stop the science — run
+			// memory-only and say so.
+			fmt.Fprintf(os.Stderr, "campaign: warning: %v; running without a cache\n", err)
+		} else {
+			if !*quiet {
+				cache.Warn = func(msg string) { fmt.Fprintln(os.Stderr, "campaign: warning:", msg) }
+			}
+			eng.Cache = cache
+			m, ok := campaign.LoadManifest(*cacheDir)
+			if !ok {
+				m = campaign.NewManifest(*cacheDir, grid.Name)
+			}
+			m.Grid = grid.Name
+			eng.Manifest = m
 		}
-		eng.Cache = cache
-		m, ok := campaign.LoadManifest(*cacheDir)
-		if !ok {
-			m = campaign.NewManifest(*cacheDir, grid.Name)
-		}
-		m.Grid = grid.Name
-		eng.Manifest = m
 	}
 
 	fmt.Fprintf(os.Stderr, "campaign: grid %q: %d workload(s) x %d policy(ies) x %d seed(s) = %d job(s), %d worker(s)\n",
@@ -176,12 +192,43 @@ func cmdRun(args []string) error {
 		}
 	}
 
-	if failed := campaign.Failed(results); len(failed) > 0 {
+	failed := campaign.Failed(results)
+	quarantined := campaign.Quarantined(results)
+	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "campaign: %d job(s) failed:\n", len(failed))
 		for _, r := range failed {
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", r.Job, r.Err)
 		}
-		return fmt.Errorf("%d of %d jobs failed (rerun to retry just the failed cells)", len(failed), len(results))
+	}
+	if len(quarantined) > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d job(s) quarantined (worker panic, see dumps):\n", len(quarantined))
+		for _, r := range quarantined {
+			line := fmt.Sprintf("  %s: %v", r.Job, r.Err)
+			if r.DumpPath != "" {
+				line += " (dump: " + r.DumpPath + ")"
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if n := len(failed) + len(quarantined); n > 0 {
+		return fmt.Errorf("%d of %d jobs did not complete (rerun to retry just those cells)", n, len(results))
+	}
+	return nil
+}
+
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("campaign fsck", flag.ExitOnError)
+	cacheDir := fs.String("cache", ".campaign", "cache directory")
+	prune := fs.Bool("prune", false, "delete corrupt entries and orphaned temp files")
+	fs.Parse(args)
+
+	rep, err := campaign.Fsck(*cacheDir, *prune)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if !rep.Clean() && !*prune {
+		return fmt.Errorf("cache at %s has damage (rerun with -prune to repair; pruned cells re-simulate)", *cacheDir)
 	}
 	return nil
 }
@@ -196,8 +243,12 @@ func cmdStatus(args []string) error {
 	if !ok {
 		return fmt.Errorf("no manifest at %s (run `campaign run -cache %s` first)", campaign.ManifestPath(*cacheDir), *cacheDir)
 	}
-	pending, done, failed := m.Counts()
-	fmt.Printf("campaign %q at %s: %d done, %d failed, %d pending\n", m.Grid, *cacheDir, done, failed, pending)
+	pending, done, failed, quarantined := m.Counts()
+	line := fmt.Sprintf("campaign %q at %s: %d done, %d failed, %d pending", m.Grid, *cacheDir, done, failed, pending)
+	if quarantined > 0 {
+		line += fmt.Sprintf(", %d quarantined", quarantined)
+	}
+	fmt.Println(line)
 	records := m.Records()
 	hits, misses := 0, 0
 	var wall int64
@@ -245,6 +296,15 @@ func cmdStatus(args []string) error {
 	}
 	for _, rec := range m.Failures() {
 		fmt.Printf("  FAILED %s/%s seed %d: %s\n", rec.Workload, rec.Policy, rec.Seed, rec.Err)
+	}
+	// Quarantined cells are engine faults, not bad configs — listed
+	// separately with their reason and dump so the distinction is visible.
+	for _, rec := range m.Quarantined() {
+		line := fmt.Sprintf("  QUARANTINED %s/%s seed %d: %s", rec.Workload, rec.Policy, rec.Seed, rec.Err)
+		if rec.Dump != "" {
+			line += " (dump: " + rec.Dump + ")"
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

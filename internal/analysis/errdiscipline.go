@@ -12,11 +12,14 @@ import (
 // — not tear down the whole worker pool. Under internal/, calls to the
 // panic builtin are flagged unless the enclosing function is a must*
 // helper (a function whose documented contract is to panic on programmer
-// error). Deliberate construction-time invariant checks keep their panics
-// behind //simlint:allow errdiscipline -- <justification>.
+// error). Calls to recover are flagged everywhere under internal/: a
+// quiet recover hides the very faults the quarantine machinery exists to
+// surface, so each recovery boundary must justify itself. Deliberate
+// sites keep their panic/recover behind
+// //simlint:allow errdiscipline -- <justification>.
 var AnalyzerErrDiscipline = &Analyzer{
 	Name: "errdiscipline",
-	Doc:  "forbid panic in internal/ simulation packages outside must* helpers",
+	Doc:  "forbid unjustified panic/recover in internal/ simulation packages",
 	Run:  runErrDiscipline,
 }
 
@@ -30,23 +33,33 @@ func runErrDiscipline(p *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if isMustName(fd.Name.Name) {
-				continue
-			}
+			must := isMustName(fd.Name.Name)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
 				id, ok := call.Fun.(*ast.Ident)
-				if !ok || id.Name != "panic" {
+				if !ok {
 					return true
 				}
 				if _, builtin := p.Pkg.Info.Uses[id].(*types.Builtin); !builtin {
 					return true
 				}
-				p.Reportf(call.Pos(),
-					"panic in a simulation package: return an error so the campaign engine can retry and record the cell (or move it into a must* helper / annotate //simlint:allow errdiscipline -- <why>)")
+				switch id.Name {
+				case "panic":
+					if must {
+						return true
+					}
+					p.Reportf(call.Pos(),
+						"panic in a simulation package: return an error so the campaign engine can retry and record the cell (or move it into a must* helper / annotate //simlint:allow errdiscipline -- <why>)")
+				case "recover":
+					// recover is flagged even inside must* helpers: a "must"
+					// contract is about panicking, never about swallowing
+					// panics.
+					p.Reportf(call.Pos(),
+						"recover in a simulation package: swallowing a panic hides an engine fault; quarantine it with evidence or annotate //simlint:allow errdiscipline -- <why>")
+				}
 				return true
 			})
 		}

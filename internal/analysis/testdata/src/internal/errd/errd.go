@@ -43,3 +43,37 @@ func badDirective() {
 	//simlint:allow errdiscipline // want `//simlint:allow without a justification`
 	panic("unjustified") // want `panic in a simulation package`
 }
+
+// swallow recovers without justification: flagged, since a quiet recover
+// hides engine faults.
+func swallow(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want `recover in a simulation package`
+			err = errors.New("swallowed")
+		}
+	}()
+	f()
+	return nil
+}
+
+// mustRecover shows that a must* name does not sanction recover the way
+// it sanctions panic.
+func mustRecover(f func()) {
+	defer func() {
+		recover() // want `recover in a simulation package`
+	}()
+	f()
+}
+
+// quarantine is the sanctioned recovery shape: an annotated isolation
+// boundary that converts the panic into evidence.
+func quarantine(f func()) (err error) {
+	defer func() {
+		//simlint:allow errdiscipline -- isolation boundary in the golden input: the panic becomes a quarantined error
+		if r := recover(); r != nil {
+			err = errors.New("quarantined")
+		}
+	}()
+	f()
+	return nil
+}

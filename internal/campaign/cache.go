@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io/fs"
@@ -8,7 +10,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/sim"
 )
 
@@ -16,9 +20,19 @@ import (
 // JSON file named <key>.json under a two-hex-character shard directory
 // (<dir>/ab/abcdef....json), so even large campaigns keep directory sizes
 // reasonable. Writes go through a temp file + rename, so a cache is never
-// left with a torn entry after a crash or an interrupt.
+// left with a torn entry after a crash or an interrupt, and every entry
+// carries a content checksum verified on read — a corrupt entry (bit rot,
+// hand edit, torn write that still renamed) is a logged miss, never a
+// crash or a silently wrong result.
 type Cache struct {
 	dir string
+
+	// Warn, when non-nil, receives one line per detected corrupt entry.
+	Warn func(msg string)
+	// Faults injects read/write faults for chaos tests (nil = disabled).
+	Faults *faultinject.Injector
+
+	corrupt atomic.Int64
 }
 
 // Entry is the on-disk record: the job's identity metadata plus its full
@@ -37,6 +51,21 @@ type Entry struct {
 	// without knowing the Result schema. The full counter snapshot lives
 	// in Result.Metrics.
 	Summary map[string]float64 `json:"summary,omitempty"`
+	// Sum is the entry's content checksum: hex sha256 of the entry's
+	// canonical JSON with Sum itself blank. Verified on every read.
+	Sum string `json:"sum,omitempty"`
+}
+
+// checksum computes the entry's content checksum (over its canonical JSON
+// with the Sum field blank).
+func checksum(e Entry) (string, error) {
+	e.Sum = ""
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return "", fmt.Errorf("campaign: checksumming cache entry: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Summarize extracts the headline per-cell metrics stored in Entry.Summary.
@@ -71,16 +100,56 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".json")
 }
 
+// verify re-derives an unmarshaled entry's checksum. Entries written
+// before SchemaVersion 4 have no Sum, but those fail the schema check
+// first, so an empty Sum here means tampering.
+func verify(e Entry) bool {
+	want, err := checksum(e)
+	return err == nil && e.Sum == want
+}
+
+// noteCorrupt counts and reports a corrupt entry.
+func (c *Cache) noteCorrupt(path, why string) {
+	c.corrupt.Add(1)
+	if c.Warn != nil {
+		c.Warn(fmt.Sprintf("corrupt cache entry %s (%s): treating as miss", path, why))
+	}
+}
+
+// CorruptReads returns how many corrupt entries reads have detected.
+func (c *Cache) CorruptReads() int64 { return c.corrupt.Load() }
+
 // Get returns the cached entry for key, with ok=false on a miss. A
-// corrupt entry (torn write from an old crash, hand-edited file) counts as
-// a miss so the job is simply re-simulated and rewritten.
+// corrupt entry — unparseable bytes, a checksum mismatch, an entry filed
+// under the wrong key — is logged via Warn and counts as a miss, so the
+// job is simply re-simulated and rewritten; corruption never crashes a
+// campaign or serves a wrong result.
 func (c *Cache) Get(key string) (Entry, bool) {
-	data, err := os.ReadFile(c.path(key))
+	path := c.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return Entry{}, false
 	}
+	switch k := c.Faults.Check(faultinject.SiteCacheRead); k {
+	case faultinject.KindError:
+		return Entry{}, false // injected read error: a plain miss
+	case faultinject.KindCorrupt:
+		data = c.Faults.Mutate(k, data)
+	}
 	var e Entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Schema != SchemaVersion {
+	if err := json.Unmarshal(data, &e); err != nil {
+		c.noteCorrupt(path, "unparseable")
+		return Entry{}, false
+	}
+	if e.Schema != SchemaVersion {
+		return Entry{}, false // foreign schema: a miss, not corruption
+	}
+	if e.Key != key {
+		c.noteCorrupt(path, "key mismatch")
+		return Entry{}, false
+	}
+	if !verify(e) {
+		c.noteCorrupt(path, "checksum mismatch")
 		return Entry{}, false
 	}
 	return e, true
@@ -88,7 +157,10 @@ func (c *Cache) Get(key string) (Entry, bool) {
 
 // Put stores the result of job under its key.
 func (c *Cache) Put(job Job, res sim.Result) error {
-	key := job.Key()
+	key, err := job.Key()
+	if err != nil {
+		return err
+	}
 	rc := job.Config.Resolved()
 	e := Entry{
 		Key:      key,
@@ -100,9 +172,20 @@ func (c *Cache) Put(job Job, res sim.Result) error {
 		Result:   res,
 		Summary:  Summarize(res),
 	}
+	if e.Sum, err = checksum(e); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(e, "", " ")
 	if err != nil {
 		return fmt.Errorf("campaign: encoding cache entry: %w", err)
+	}
+	switch k := c.Faults.Check(faultinject.SiteCacheWrite); k {
+	case faultinject.KindError:
+		return fmt.Errorf("campaign: cache write %s: %w", key, faultinject.ErrInjected)
+	case faultinject.KindCorrupt, faultinject.KindTruncate:
+		// Persist damaged bytes through the normal atomic path: the torn
+		// entry must be caught by the read-side checksum, not by luck.
+		data = c.Faults.Mutate(k, data)
 	}
 	path := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -133,11 +216,20 @@ func (c *Cache) Put(job Job, res sim.Result) error {
 func (c *Cache) Entries() ([]Entry, error) {
 	var entries []Entry
 	err := filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+		if err != nil {
 			return err
 		}
+		if d.IsDir() {
+			if path != c.dir && d.Name() == quarantineDirName {
+				return filepath.SkipDir // panic dumps, not result entries
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".json") {
+			return nil
+		}
 		if filepath.Dir(path) == c.dir {
-			return nil // manifest.json and friends live at the root
+			return nil // manifest files live at the root
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -146,6 +238,10 @@ func (c *Cache) Entries() ([]Entry, error) {
 		var e Entry
 		if err := json.Unmarshal(data, &e); err != nil || e.Schema != SchemaVersion {
 			return nil // skip torn/foreign files
+		}
+		if !verify(e) {
+			c.noteCorrupt(path, "checksum mismatch")
+			return nil
 		}
 		entries = append(entries, e)
 		return nil

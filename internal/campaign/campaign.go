@@ -49,7 +49,11 @@ import (
 // Version 3: the MSHR binds its full counter set (allocs, full, squashes
 // joined merges and dropped), so cached Result.Metrics snapshots from
 // earlier versions are missing keys.
-const SchemaVersion = 3
+//
+// Version 4: cache entries carry a content checksum (Entry.Sum), the
+// manifest became an append-only journal (manifest.jsonl), and sim.Config
+// gained the keyed WatchdogWindow parameter.
+const SchemaVersion = 4
 
 // Job is one simulation cell: a workload run under a fully specified
 // configuration. Variant is a human-readable label for the config override
@@ -62,7 +66,7 @@ type Job struct {
 }
 
 // Key returns the job's content-addressed identity.
-func (j Job) Key() string { return Key(j.Workload, j.Config) }
+func (j Job) Key() (string, error) { return Key(j.Workload, j.Config) }
 
 // String renders the job for progress lines and error messages.
 func (j Job) String() string {
@@ -95,20 +99,21 @@ type keyRecord struct {
 // configuration through different code paths share a cache slot, and two
 // configurations that differ in any simulated parameter (seed, policy,
 // randomization overrides, window size, ...) never collide.
-func Key(wl string, cfg sim.Config) string {
+func Key(wl string, cfg sim.Config) (string, error) {
 	rc := cfg.Resolved()
 	rc.Trace = nil // observation-only; does not affect results
 	rc.Metrics = nil
 	rc.SampleEvery = 0
+	rc.Faults = nil
 	blob, err := json.Marshal(keyRecord{Schema: SchemaVersion, Workload: wl, Config: rc})
 	if err != nil {
-		// sim.Config is a plain struct of scalars and *bool; this cannot
-		// fail for any value a caller can construct.
-		//simlint:allow errdiscipline -- unreachable: canonical JSON of a plain scalar struct cannot fail
-		panic(fmt.Sprintf("campaign: canonicalizing config: %v", err))
+		// sim.Config is a plain struct of scalars and pointers today, so
+		// this is unreachable — but a future field could make it real,
+		// and a bad cell must surface as a failed job, not a dead pool.
+		return "", fmt.Errorf("campaign: canonicalizing config for %s: %w", wl, err)
 	}
 	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:16])
+	return hex.EncodeToString(sum[:16]), nil
 }
 
 // JobResult is the outcome of one job execution.
@@ -120,7 +125,14 @@ type JobResult struct {
 	Cached   bool // served from the disk cache or in-memory memo
 	Attempts int  // 0 for cache hits
 	Elapsed  time.Duration
+	// Quarantined marks a worker panic (an engine/model fault, not a bad
+	// cell config): the panic was recovered, the job was not retried, and
+	// a diagnostic dump was written to DumpPath.
+	Quarantined bool
+	DumpPath    string
 }
 
 // Failed reports whether the job ultimately failed (after retries).
+// Quarantined jobs also count as failed; use Quarantined to tell "bad
+// config" from "engine fault".
 func (r JobResult) Failed() bool { return r.Err != nil }

@@ -1,12 +1,14 @@
 package campaign
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/sim"
 )
 
@@ -14,10 +16,26 @@ func testCfg(p sim.Policy, seed uint64) sim.Config {
 	return sim.Config{Policy: p, Instructions: 6_000, Seed: seed}
 }
 
+// keyOf is the test-side Key that treats canonicalization failure as fatal.
+func keyOf(t *testing.T, wl string, cfg sim.Config) string {
+	t.Helper()
+	k, err := Key(wl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// mustKey is keyOf for a Job.
+func mustKey(t *testing.T, j Job) string {
+	t.Helper()
+	return keyOf(t, j.Workload, j.Config)
+}
+
 func TestKeyDeterminismAndSensitivity(t *testing.T) {
 	base := testCfg(sim.CleanupSpec, 1)
-	k := Key("astar", base)
-	if k != Key("astar", base) {
+	k := keyOf(t, "astar", base)
+	if k != keyOf(t, "astar", base) {
 		t.Fatal("key not deterministic")
 	}
 	if len(k) != 32 {
@@ -32,36 +50,43 @@ func TestKeyDeterminismAndSensitivity(t *testing.T) {
 		"l1rand":       {Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, L1RandomRepl: &on},
 		"nowarmup":     {Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, NoWarmup: true},
 		"maxcycles":    {Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, MaxCycles: 1_000_000},
+		"watchdog":     {Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, WatchdogWindow: 100_000},
 	}
 	for name, cfg := range variants {
-		if Key("astar", cfg) == k {
+		if keyOf(t, "astar", cfg) == k {
 			t.Errorf("%s variant collided with the base key", name)
 		}
 	}
-	if Key("gcc", base) == k {
+	if keyOf(t, "gcc", base) == k {
 		t.Error("workload not part of the key")
 	}
 
 	// Defaults-resolution equivalence: an explicitly spelled-out default
 	// hashes the same as the implicit one.
-	explicit := sim.Config{Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1, MaxCycles: 500_000_000, Warmup: 6_000}
-	if Key("astar", explicit) != k {
+	explicit := sim.Config{Policy: sim.CleanupSpec, Instructions: 6_000, Seed: 1,
+		MaxCycles: 500_000_000, Warmup: 6_000, WatchdogWindow: 200_000}
+	if keyOf(t, "astar", explicit) != k {
 		t.Error("explicit defaults must share the implicit-defaults key")
 	}
 
 	// The observability hooks are observation-only and must not affect
-	// identity: same key with a trace ring, a metrics collector, or a
-	// sampling interval attached.
+	// identity: same key with a trace ring, a metrics collector, a
+	// sampling interval, or a fault injector attached.
 	traced := base
 	traced.Trace = sim.NewTraceRing(16)
-	if Key("astar", traced) != k {
+	if keyOf(t, "astar", traced) != k {
 		t.Error("trace ring changed the key")
 	}
 	instrumented := base
 	instrumented.Metrics = &sim.Metrics{}
 	instrumented.SampleEvery = 1000
-	if Key("astar", instrumented) != k {
+	if keyOf(t, "astar", instrumented) != k {
 		t.Error("metrics collector / sampling interval changed the key")
+	}
+	faulted := base
+	faulted.Faults = faultinject.New(3)
+	if keyOf(t, "astar", faulted) != k {
+		t.Error("fault injector changed the key")
 	}
 }
 
@@ -76,15 +101,19 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(job.Key()); ok {
+	key := mustKey(t, job)
+	if _, ok := c.Get(key); ok {
 		t.Fatal("empty cache reported a hit")
 	}
 	if err := c.Put(job, res); err != nil {
 		t.Fatal(err)
 	}
-	e, ok := c.Get(job.Key())
+	e, ok := c.Get(key)
 	if !ok {
 		t.Fatal("cache miss after Put")
+	}
+	if e.Sum == "" {
+		t.Fatal("entry has no checksum")
 	}
 	if !reflect.DeepEqual(e.Result, res) {
 		t.Fatalf("result did not round-trip:\n got %+v\nwant %+v", e.Result, res)
@@ -97,15 +126,54 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 
 	// A torn/corrupt entry must read as a miss, not an error.
-	if err := os.WriteFile(c.path(job.Key()), []byte("{torn"), 0o644); err != nil {
+	var warned []string
+	c.Warn = func(msg string) { warned = append(warned, msg) }
+	if err := os.WriteFile(c.path(key), []byte("{torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get(job.Key()); ok {
+	if _, ok := c.Get(key); ok {
 		t.Fatal("corrupt entry served as a hit")
 	}
+	if len(warned) != 1 || c.CorruptReads() != 1 {
+		t.Fatalf("torn entry not logged: warned=%v corrupt=%d", warned, c.CorruptReads())
+	}
 
-	// Entries skips the corrupt file and root-level files (manifest).
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{}"), 0o644); err != nil {
+	// Valid JSON whose content was tampered with must fail the checksum —
+	// a silently flipped measurement is worse than a miss.
+	if err := c.Put(job, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"workload": "astar"`, `"workload": "bstar"`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in entry JSON")
+	}
+	if err := os.WriteFile(c.path(key), []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("checksum-mismatched entry served as a hit")
+	}
+	if last := warned[len(warned)-1]; !strings.Contains(last, "checksum mismatch") {
+		t.Fatalf("tamper warning = %q", last)
+	}
+	// Restore a clean entry for the Entries scan below.
+	if err := c.Put(job, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Entries skips root-level files (manifest) and quarantine dumps, and
+	// returns the clean entries sorted by workload.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.jsonl"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(QuarantineDir(dir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(QuarantineDir(dir), "dead.json"), []byte(`{"panic":"x"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	job2 := Job{Workload: "gcc", Config: testCfg(sim.NonSecure, 1)}
@@ -116,8 +184,8 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Workload != "gcc" {
-		t.Fatalf("Entries: got %+v, want just the gcc entry", entries)
+	if len(entries) != 2 || entries[0].Workload != "astar" || entries[1].Workload != "gcc" {
+		t.Fatalf("Entries: got %d entries %+v, want astar+gcc", len(entries), entries)
 	}
 }
 
@@ -127,11 +195,15 @@ func TestManifestRoundTrip(t *testing.T) {
 	jobs := Grid{Name: "quick", Workloads: []string{"astar", "gcc"},
 		Policies: []sim.Policy{sim.NonSecure}, Instructions: 6_000}.Jobs()
 	m.Reconcile("quick", jobs)
-	if p, d, f := m.Counts(); p != 2 || d != 0 || f != 0 {
-		t.Fatalf("counts after reconcile: %d/%d/%d", p, d, f)
+	if p, d, f, q := m.Counts(); p != 2 || d != 0 || f != 0 || q != 0 {
+		t.Fatalf("counts after reconcile: %d/%d/%d/%d", p, d, f, q)
 	}
-	m.Record(JobResult{Job: jobs[0], Key: jobs[0].Key(), Result: sim.Result{Cycles: 123}})
-	m.Record(JobResult{Job: jobs[1], Key: jobs[1].Key(), Err: os.ErrDeadlineExceeded, Attempts: 2})
+	if err := m.Append(JobResult{Job: jobs[0], Key: mustKey(t, jobs[0]), Result: sim.Result{Cycles: 123}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(JobResult{Job: jobs[1], Key: mustKey(t, jobs[1]), Err: os.ErrDeadlineExceeded, Attempts: 2}); err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Save(); err != nil {
 		t.Fatal(err)
 	}
@@ -143,9 +215,9 @@ func TestManifestRoundTrip(t *testing.T) {
 	if loaded.Grid != "quick" {
 		t.Fatalf("grid = %q", loaded.Grid)
 	}
-	p, d, f := loaded.Counts()
-	if p != 0 || d != 1 || f != 1 {
-		t.Fatalf("counts after load: pending=%d done=%d failed=%d", p, d, f)
+	p, d, f, q := loaded.Counts()
+	if p != 0 || d != 1 || f != 1 || q != 0 {
+		t.Fatalf("counts after load: pending=%d done=%d failed=%d quarantined=%d", p, d, f, q)
 	}
 	fails := loaded.Failures()
 	if len(fails) != 1 || fails[0].Workload != "gcc" {
@@ -155,9 +227,47 @@ func TestManifestRoundTrip(t *testing.T) {
 	// Reconciling the same grid again keeps done cells done and re-queues
 	// the failed one as pending.
 	loaded.Reconcile("quick", jobs)
-	p, d, f = loaded.Counts()
-	if p != 1 || d != 1 || f != 0 {
-		t.Fatalf("counts after re-reconcile: pending=%d done=%d failed=%d", p, d, f)
+	p, d, f, q = loaded.Counts()
+	if p != 1 || d != 1 || f != 0 || q != 0 {
+		t.Fatalf("counts after re-reconcile: pending=%d done=%d failed=%d quarantined=%d", p, d, f, q)
+	}
+}
+
+// TestManifestJournalAppendOnly pins the crash-safety property the journal
+// exists for: outcomes persist without Save, one line per job.
+func TestManifestJournalAppendOnly(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest(dir, "quick")
+	jobs := Grid{Name: "quick", Workloads: []string{"astar", "gcc"},
+		Policies: []sim.Policy{sim.NonSecure}, Instructions: 6_000}.Jobs()
+	m.Reconcile("quick", jobs)
+	if err := m.Append(JobResult{Job: jobs[0], Key: mustKey(t, jobs[0]), Result: sim.Result{Cycles: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	// No Save: the appended line alone must survive a "crash" (reload).
+	loaded, ok := LoadManifest(dir)
+	if !ok {
+		t.Fatal("journal did not load back without Save")
+	}
+	if _, d, _, _ := loaded.Counts(); d != 1 {
+		t.Fatalf("done=%d after append-only persistence, want 1", d)
+	}
+
+	// A quarantined outcome round-trips with its status and dump path.
+	if err := m.Append(JobResult{Job: jobs[1], Key: mustKey(t, jobs[1]),
+		Err: errors.New("worker panic: boom"), Quarantined: true, DumpPath: "q/dead.json"}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, ok = LoadManifest(dir)
+	if !ok {
+		t.Fatal("journal did not load back")
+	}
+	qs := loaded.Quarantined()
+	if len(qs) != 1 || qs[0].Status != StatusQuarantined || qs[0].Dump != "q/dead.json" {
+		t.Fatalf("quarantined records: %+v", qs)
+	}
+	if _, _, f, q := loaded.Counts(); f != 0 || q != 1 {
+		t.Fatalf("failed=%d quarantined=%d, want 0/1", f, q)
 	}
 }
 
@@ -174,7 +284,7 @@ func TestGridExpansion(t *testing.T) {
 	}
 	seen := make(map[string]bool)
 	for _, j := range jobs {
-		k := j.Key()
+		k := mustKey(t, j)
 		if seen[k] {
 			t.Fatalf("duplicate key in expansion: %s", j)
 		}

@@ -1,12 +1,20 @@
 package campaign
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+	"repro/internal/xrand"
 	"repro/sim"
 )
 
@@ -17,6 +25,13 @@ import (
 // Result lookup order for a job: in-memory memo → disk cache → simulate.
 // Fresh results are written through to both layers, so a later engine (or
 // a later process) pointed at the same cache directory starts warm.
+//
+// Failure handling is layered: ordinary errors are retried under a
+// bounded cycle budget with deterministic exponential backoff; worker
+// panics are recovered into quarantined results with a diagnostic dump
+// instead of killing the pool; a cache directory that stops accepting
+// writes degrades the engine to cache-bypass mode rather than spamming
+// errors or failing jobs whose simulations succeeded.
 type Engine struct {
 	// Cache is the optional disk layer (nil → memory-only engine).
 	Cache *Cache
@@ -28,31 +43,60 @@ type Engine struct {
 	Retries int
 	// RetryMaxCycles bounds Config.MaxCycles on retry attempts so a
 	// pathologically stalled configuration times out instead of burning a
-	// worker for the 500M-cycle default (default 50M).
+	// worker for the 500M-cycle default (default 50M). A job whose own
+	// MaxCycles is already tighter keeps its own bound.
 	RetryMaxCycles uint64
-	// Manifest, when non-nil, receives per-job status updates and is
-	// saved after every job completion.
+	// Backoff is the base delay before retry attempt n: Backoff<<(n-1)
+	// plus up to 100% jitter, derived deterministically from the job key
+	// so reruns back off identically regardless of worker scheduling
+	// (default 50ms; 0 disables).
+	Backoff time.Duration
+	// Manifest, when non-nil, receives per-job status updates; each
+	// completion is journaled with a single appended line.
 	Manifest *Manifest
 	// Reporter, when non-nil, streams completed/total + ETA as jobs
 	// finish.
 	Reporter *Reporter
+	// Faults, when non-nil, is the chaos-test fault schedule. Each job
+	// derives a child injector keyed by its cache key, so which worker
+	// picks up a job never changes the faults it sees.
+	Faults *faultinject.Injector
 
 	mu   sync.Mutex
 	memo map[string]sim.Result
 
 	sims atomic.Int64
+
+	cacheFails atomic.Int32 // consecutive cache-write failures
+	cacheDown  atomic.Bool  // degraded to cache-bypass
+
+	// sleep is the backoff clock, replaceable in tests (nil = time.Sleep).
+	sleep func(time.Duration)
 }
+
+// cacheFailThreshold is how many consecutive write failures flip the
+// engine into cache-bypass mode.
+const cacheFailThreshold = 3
 
 // NewEngine returns a memory-only engine with default pool sizing; callers
 // attach Cache / Manifest / Reporter as needed.
 func NewEngine() *Engine {
-	return &Engine{Retries: 1, RetryMaxCycles: 50_000_000, memo: make(map[string]sim.Result)}
+	return &Engine{
+		Retries:        1,
+		RetryMaxCycles: 50_000_000,
+		Backoff:        50 * time.Millisecond,
+		memo:           make(map[string]sim.Result),
+	}
 }
 
 // Simulations returns how many actual simulator invocations the engine
 // has performed (cache and memo hits excluded, retries included) — the
 // number the cache-determinism tests pin to zero on a warm rerun.
 func (e *Engine) Simulations() int64 { return e.sims.Load() }
+
+// CacheBypassed reports whether repeated write failures degraded the
+// engine to cache-bypass mode.
+func (e *Engine) CacheBypassed() bool { return e.cacheDown.Load() }
 
 func (e *Engine) workers() int {
 	if e.Workers > 0 {
@@ -68,7 +112,7 @@ func (e *Engine) lookup(key string) (sim.Result, bool) {
 	if ok {
 		return res, true
 	}
-	if e.Cache != nil {
+	if e.Cache != nil && !e.cacheDown.Load() {
 		if entry, ok := e.Cache.Get(key); ok {
 			e.mu.Lock()
 			e.memo[key] = entry.Result
@@ -83,10 +127,145 @@ func (e *Engine) store(job Job, key string, res sim.Result) error {
 	e.mu.Lock()
 	e.memo[key] = res
 	e.mu.Unlock()
-	if e.Cache != nil {
-		return e.Cache.Put(job, res)
+	if e.Cache == nil || e.cacheDown.Load() {
+		return nil
 	}
-	return nil
+	err := e.Cache.Put(job, res)
+	if err == nil {
+		e.cacheFails.Store(0)
+		return nil
+	}
+	// Graceful degradation: an unwritable cache dir (disk full, perms
+	// yanked mid-run) must not fail jobs whose simulations succeeded.
+	// After a few consecutive failures, stop touching the cache at all.
+	if e.cacheFails.Add(1) >= cacheFailThreshold {
+		if e.cacheDown.CompareAndSwap(false, true) && e.Reporter != nil {
+			e.Reporter.Warn("cache keeps failing writes; bypassing it for the rest of the run (results stay in memory)")
+		}
+	}
+	return err
+}
+
+// PanicError is a recovered worker panic: an engine or simulator-model
+// fault, as opposed to a cell that merely returned an error.
+type PanicError struct {
+	Value string // the panic value, stringified
+	Stack string // the goroutine stack at recovery
+}
+
+// Error renders the panic value (the stack lives in the quarantine dump).
+func (e *PanicError) Error() string { return "worker panic: " + e.Value }
+
+// runAttempt executes one simulation attempt behind a panic isolation
+// boundary: a panicking worker comes back as a *PanicError instead of
+// tearing down the whole pool.
+func runAttempt(job Job, cfg sim.Config, faults *faultinject.Injector) (res sim.Result, err error) {
+	defer func() {
+		//simlint:allow errdiscipline -- panic isolation boundary: a worker panic becomes a quarantined JobResult with a diagnostic dump, the pool survives
+		if r := recover(); r != nil {
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	switch faults.Check(faultinject.SiteWorkerExec) {
+	case faultinject.KindError:
+		return sim.Result{}, fmt.Errorf("campaign: worker executing %s: %w", job, faultinject.ErrInjected)
+	case faultinject.KindPanic:
+		//simlint:allow errdiscipline -- deliberate injected fault: the chaos suite proves this panic is recovered and quarantined, never escapes the pool
+		panic(fmt.Sprintf("faultinject: injected worker panic for %s", job))
+	}
+	return sim.RunWorkload(job.Workload, cfg)
+}
+
+// backoff returns the delay before retry attempt n (1-based) of the job
+// keyed by key: exponential in the attempt with up to 100% jitter, all
+// derived from (key, attempt) through xrand — so two runs of the same
+// campaign back off identically no matter how workers are scheduled.
+func backoff(key string, attempt int, base time.Duration) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	const maxBackoff = 2 * time.Second
+	d := base << uint(attempt-1)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	r := xrand.New(xrand.Hash64(keySeed(key) ^ uint64(attempt)))
+	return d + time.Duration(r.Uint64n(uint64(d)))
+}
+
+// keySeed folds a cache key into an xrand seed (FNV-1a 64).
+func keySeed(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// pause sleeps through the engine's clock (tests stub it out).
+func (e *Engine) pause(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if e.sleep != nil {
+		e.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// diagRingCap is how many trailing trace events each attempt retains for
+// a potential quarantine dump.
+const diagRingCap = 256
+
+// quarantineDirName is the dump directory under the cache root.
+const quarantineDirName = "quarantine"
+
+// QuarantineDir returns the quarantine dump directory for a cache root.
+func QuarantineDir(cacheDir string) string {
+	return filepath.Join(cacheDir, quarantineDirName)
+}
+
+// quarantineDump is the diagnostic record written for a recovered panic:
+// enough to reproduce (job + config), see where the simulation was (last
+// trace events), and what it had counted (partial stats) — without
+// rerunning anything.
+type quarantineDump struct {
+	Job     Job               `json:"job"`
+	Key     string            `json:"key"`
+	Panic   string            `json:"panic"`
+	Stack   string            `json:"stack"`
+	Trace   []trace.Event     `json:"trace,omitempty"`
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
+}
+
+// writeQuarantineDump persists the dump, returning its path ("" if no
+// cache dir is attached or the write failed — quarantine still proceeds).
+func (e *Engine) writeQuarantineDump(job Job, key string, pe *PanicError, ring *trace.Ring, col *sim.Metrics) string {
+	if e.Cache == nil {
+		return ""
+	}
+	dump := quarantineDump{Job: job, Key: key, Panic: pe.Value, Stack: pe.Stack}
+	if ring != nil {
+		dump.Trace = ring.Events()
+	}
+	if col != nil && col.Registry != nil {
+		dump.Metrics = col.Registry.Snapshot().Counters
+	}
+	dir := QuarantineDir(e.Cache.Dir())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	data, err := json.MarshalIndent(dump, "", " ")
+	if err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return ""
+	}
+	return path
 }
 
 // RunOne executes a single job through the memo and cache, returning
@@ -98,11 +277,15 @@ func (e *Engine) RunOne(job Job) (res sim.Result, cached bool, err error) {
 }
 
 func (e *Engine) runJob(job Job) JobResult {
-	key := job.Key()
 	start := time.Now() //simlint:allow determinism -- JobResult.Elapsed is reporting metadata for the progress line, not part of any result or key
+	key, kerr := job.Key()
+	if kerr != nil {
+		return JobResult{Job: job, Err: kerr, Elapsed: time.Since(start)}
+	}
 	if res, ok := e.lookup(key); ok {
 		return JobResult{Job: job, Key: key, Result: res, Cached: true, Elapsed: time.Since(start)}
 	}
+	faults := e.Faults.Child(key)
 	var (
 		res      sim.Result
 		err      error
@@ -115,19 +298,39 @@ func (e *Engine) runJob(job Job) JobResult {
 		// bindings are free on the hot path and no sampler is attached,
 		// so this does not slow the job or change its outcome.
 		cfg.Metrics = &sim.Metrics{}
-		if attempt > 0 && e.RetryMaxCycles > 0 {
-			// Retry under a tighter cycle budget: a deterministic stall
-			// will stall again, and the bounded budget turns it into a
-			// prompt per-job timeout instead of a hung worker.
-			if cfg.MaxCycles == 0 || cfg.MaxCycles > e.RetryMaxCycles {
-				cfg.MaxCycles = e.RetryMaxCycles
+		// A small trace ring rides along purely as quarantine evidence;
+		// it observes, never alters, the simulation.
+		ring := trace.NewRing(diagRingCap)
+		if cfg.Trace == nil {
+			cfg.Trace = ring
+		}
+		cfg.Faults = faults
+		if attempt > 0 {
+			if e.RetryMaxCycles > 0 {
+				// Retry under a tighter cycle budget: a deterministic stall
+				// will stall again, and the bounded budget turns it into a
+				// prompt per-job timeout instead of a hung worker. A job
+				// that brought an even tighter bound of its own keeps it.
+				if cfg.MaxCycles == 0 || cfg.MaxCycles > e.RetryMaxCycles {
+					cfg.MaxCycles = e.RetryMaxCycles
+				}
 			}
+			e.pause(backoff(key, attempt, e.Backoff))
 		}
 		attempts++
 		e.sims.Add(1)
-		res, err = sim.RunWorkload(job.Workload, cfg)
+		res, err = runAttempt(job, cfg, faults)
 		if err == nil {
 			break
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// A panic is an engine/model fault, not a flaky cell: retrying
+			// buys nothing and risks a second panic. Quarantine with the
+			// evidence instead.
+			jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start), Err: err, Quarantined: true}
+			jr.DumpPath = e.writeQuarantineDump(job, key, pe, ring, cfg.Metrics)
+			return jr
 		}
 	}
 	jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start)}
@@ -152,9 +355,10 @@ func (e *Engine) runJob(job Job) JobResult {
 // Run executes jobs on the worker pool and returns their results in job
 // order (independent of scheduling), so aggregation over the returned
 // slice is deterministic for a fixed grid. The manifest, when attached,
-// is reconciled before execution and saved as jobs complete; Run never
-// aborts on individual job failures — inspect JobResult.Err (or Failed on
-// the returned slice) for the per-cell outcomes.
+// is reconciled and compacted before execution, journaled line-by-line as
+// jobs complete, and compacted again at the end; Run never aborts on
+// individual job failures — inspect JobResult.Err/Quarantined (or
+// Failed/Quarantined on the returned slice) for the per-cell outcomes.
 func (e *Engine) Run(jobs []Job) []JobResult {
 	if e.Manifest != nil {
 		e.Manifest.Reconcile(e.Manifest.Grid, jobs)
@@ -179,8 +383,9 @@ func (e *Engine) Run(jobs []Job) []JobResult {
 				jr := e.runJob(jobs[i])
 				results[i] = jr
 				if e.Manifest != nil {
-					e.Manifest.Record(jr)
-					_ = e.Manifest.Save()
+					if merr := e.Manifest.Append(jr); merr != nil && e.Reporter != nil {
+						e.Reporter.Warn(fmt.Sprintf("manifest append failed for %s: %v", jr.Job, merr))
+					}
 				}
 				if e.Reporter != nil {
 					e.Reporter.JobDone(jr)
@@ -198,11 +403,23 @@ func (e *Engine) Run(jobs []Job) []JobResult {
 	return results
 }
 
-// Failed filters the failed results out of a Run output.
+// Failed filters the plainly failed (non-quarantined) results out of a
+// Run output.
 func Failed(results []JobResult) []JobResult {
 	var out []JobResult
 	for _, r := range results {
-		if r.Failed() {
+		if r.Failed() && !r.Quarantined {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Quarantined filters the quarantined results out of a Run output.
+func Quarantined(results []JobResult) []JobResult {
+	var out []JobResult
+	for _, r := range results {
+		if r.Quarantined {
 			out = append(out, r)
 		}
 	}

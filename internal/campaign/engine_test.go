@@ -1,11 +1,17 @@
 package campaign
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/sim"
 )
 
@@ -63,7 +69,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	serialResults := make([]JobResult, len(jobs))
 	for i := range jobs {
-		serialResults[i] = JobResult{Job: jobs[i], Key: jobs[i].Key(), Result: serial[i]}
+		serialResults[i] = JobResult{Job: jobs[i], Key: mustKey(t, jobs[i]), Result: serial[i]}
 	}
 	if err := ResultsCSV(&fromSerial, serialResults); err != nil {
 		t.Fatal(err)
@@ -142,7 +148,7 @@ func TestResumeAfterInterrupt(t *testing.T) {
 	if got, want := resumed.Simulations(), int64(len(jobs)-len(half)); got != want {
 		t.Fatalf("resumed run simulated %d cells, want exactly the %d missing ones", got, want)
 	}
-	if _, done, failed := resumed.Manifest.Counts(); done != len(jobs) || failed != 0 {
+	if _, done, failed, _ := resumed.Manifest.Counts(); done != len(jobs) || failed != 0 {
 		t.Fatalf("manifest after resume: done=%d failed=%d, want %d/0", done, failed, len(jobs))
 	}
 }
@@ -158,6 +164,7 @@ func TestResumeAfterPartialFailure(t *testing.T) {
 
 	eng := NewEngine()
 	eng.Workers = 4
+	eng.sleep = func(time.Duration) {} // no real backoff in tests
 	cache, err := OpenCache(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +185,7 @@ func TestResumeAfterPartialFailure(t *testing.T) {
 			t.Fatalf("good cell %s failed alongside the bad one: %v", r.Job, r.Err)
 		}
 	}
-	if _, done, failedN := eng.Manifest.Counts(); done != len(jobs)-1 || failedN != 1 {
+	if _, done, failedN, _ := eng.Manifest.Counts(); done != len(jobs)-1 || failedN != 1 {
 		t.Fatalf("manifest: done=%d failed=%d", done, failedN)
 	}
 
@@ -195,6 +202,7 @@ func TestResumeAfterPartialFailure(t *testing.T) {
 	// Resume: only the failed cell is re-attempted, everything else is a
 	// cache hit.
 	resumed := NewEngine()
+	resumed.sleep = func(time.Duration) {}
 	resumed.Cache, err = OpenCache(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -209,6 +217,7 @@ func TestResumeAfterPartialFailure(t *testing.T) {
 // runs under the engine's bounded cycle budget.
 func TestRetryBoundsMaxCycles(t *testing.T) {
 	eng := NewEngine()
+	eng.sleep = func(time.Duration) {}
 	if eng.RetryMaxCycles == 0 {
 		t.Fatal("default engine must bound retry cycles")
 	}
@@ -221,6 +230,208 @@ func TestRetryBoundsMaxCycles(t *testing.T) {
 	}
 	if job.Config.MaxCycles != 0 {
 		t.Fatal("retry mutated the caller's job config")
+	}
+}
+
+// TestRetryKeepsTighterMaxCycles is the regression test for the retry
+// budget: a job that brings its own MaxCycles tighter than
+// RetryMaxCycles must keep it on retry. If the retry replaced the bound
+// with the looser engine default, the second attempt under a 64-cycle
+// budget would succeed and mask the first failure.
+func TestRetryKeepsTighterMaxCycles(t *testing.T) {
+	eng := NewEngine()
+	eng.sleep = func(time.Duration) {}
+	if eng.RetryMaxCycles <= 64 {
+		t.Fatalf("test assumes a generous default retry budget, got %d", eng.RetryMaxCycles)
+	}
+	job := Job{Workload: "astar", Config: sim.Config{
+		Policy: sim.NonSecure, Instructions: 6_000, NoWarmup: true, MaxCycles: 64}}
+	jr := eng.runJob(job)
+	if jr.Err == nil {
+		t.Fatal("retry loosened the job's own MaxCycles bound: run succeeded under a 64-cycle budget")
+	}
+	if jr.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", jr.Attempts)
+	}
+	if job.Config.MaxCycles != 64 {
+		t.Fatal("retry mutated the caller's job config")
+	}
+}
+
+// TestPanicQuarantine injects a worker panic: the pool must survive, the
+// job must come back quarantined (not retried, not plain-failed) with a
+// diagnostic dump, and the manifest must record the quarantine.
+func TestPanicQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	jobs := smallGrid().Jobs()[:1]
+
+	eng := NewEngine()
+	eng.sleep = func(time.Duration) {}
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Cache = cache
+	eng.Manifest = NewManifest(dir, "test")
+	eng.Faults = faultinject.Plan("panic-test").
+		Schedule(faultinject.SiteWorkerExec, faultinject.KindPanic, 1)
+
+	results := eng.Run(jobs)
+	r := results[0]
+	if !r.Quarantined || r.Err == nil {
+		t.Fatalf("want quarantined result, got %+v", r)
+	}
+	if r.Attempts != 1 {
+		t.Fatalf("quarantined job attempted %d times, want 1 (panics are not retried)", r.Attempts)
+	}
+	if len(Failed(results)) != 0 {
+		t.Fatal("quarantined result leaked into Failed()")
+	}
+	if qs := Quarantined(results); len(qs) != 1 {
+		t.Fatalf("Quarantined() returned %d results, want 1", len(qs))
+	}
+
+	// The dump carries the evidence: job identity, panic value, stack.
+	if r.DumpPath == "" {
+		t.Fatal("no quarantine dump written")
+	}
+	data, err := os.ReadFile(r.DumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Key   string `json:"key"`
+		Panic string `json:"panic"`
+		Stack string `json:"stack"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("dump unparseable: %v", err)
+	}
+	if dump.Key != r.Key || !strings.Contains(dump.Panic, "injected worker panic") || dump.Stack == "" {
+		t.Fatalf("dump missing evidence: %+v", dump)
+	}
+
+	// The manifest separates quarantined from failed.
+	if _, _, f, q := eng.Manifest.Counts(); f != 0 || q != 1 {
+		t.Fatalf("manifest counts: failed=%d quarantined=%d, want 0/1", f, q)
+	}
+	qrecs := eng.Manifest.Quarantined()
+	if len(qrecs) != 1 || qrecs[0].Dump != r.DumpPath {
+		t.Fatalf("manifest quarantine records: %+v", qrecs)
+	}
+}
+
+// TestCacheBypassDegradation yanks the cache's shard directories out from
+// under the engine (plain files where directories must go, so every Put
+// fails): after a few consecutive write failures the engine must degrade
+// to cache-bypass mode and every simulation must still succeed.
+func TestCacheBypassDegradation(t *testing.T) {
+	dir := t.TempDir()
+	jobs := smallGrid().Jobs()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := map[string]bool{}
+	for _, j := range jobs {
+		sh := mustKey(t, j)[:2]
+		if !blocked[sh] {
+			blocked[sh] = true
+			if err := os.WriteFile(filepath.Join(dir, sh), []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var buf strings.Builder
+	eng := NewEngine()
+	eng.Workers = 1
+	eng.Cache = cache
+	eng.Reporter = NewReporter(&buf)
+	results := eng.Run(jobs)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s failed because the cache was unwritable: %v", r.Job, r.Err)
+		}
+	}
+	if !eng.CacheBypassed() {
+		t.Fatal("engine never degraded to cache-bypass")
+	}
+	if !strings.Contains(buf.String(), "bypassing") {
+		t.Fatalf("no bypass warning surfaced:\n%s", buf.String())
+	}
+}
+
+// TestTruncatedManifestResume kills the journal mid-append (final line
+// torn in half, the cell's cache entry gone) and resumes: the load must
+// drop exactly the torn record, and the rerun must re-simulate only that
+// one cell.
+func TestTruncatedManifestResume(t *testing.T) {
+	dir := t.TempDir()
+	jobs := smallGrid().Jobs()[:3]
+
+	eng := NewEngine()
+	eng.Workers = 1
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Cache = cache
+	eng.Manifest = NewManifest(dir, "test")
+	if n := len(Failed(eng.Run(jobs))); n != 0 {
+		t.Fatalf("%d jobs failed in setup run", n)
+	}
+
+	// Tear the final journal line as a mid-write kill would, and delete
+	// that cell's cache entry so the record loss actually costs a rerun.
+	path := ManifestPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte{'\n'})
+	last := lines[len(lines)-1]
+	var jl struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(last, &jl); err != nil || len(jl.Key) < 2 {
+		t.Fatalf("could not parse final journal line %q: %v", last, err)
+	}
+	torn := append(bytes.Join(lines[:len(lines)-1], []byte{'\n'}), '\n')
+	torn = append(torn, last[:len(last)/2]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, jl.Key[:2], jl.Key+".json")); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, ok := LoadManifest(dir)
+	if !ok {
+		t.Fatal("truncated manifest failed to load")
+	}
+	if loaded.Dropped() != 1 {
+		t.Fatalf("dropped %d journal lines, want exactly the torn one", loaded.Dropped())
+	}
+	if _, done, _, _ := loaded.Counts(); done != len(jobs)-1 {
+		t.Fatalf("done=%d after truncation, want %d", done, len(jobs)-1)
+	}
+
+	resumed := NewEngine()
+	resumed.Workers = 1
+	resumed.Cache, err = OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Manifest = loaded
+	if n := len(Failed(resumed.Run(jobs))); n != 0 {
+		t.Fatalf("%d jobs failed on resume", n)
+	}
+	if got := resumed.Simulations(); got != 1 {
+		t.Fatalf("resume simulated %d cells, want only the torn one", got)
+	}
+	if p, done, f, q := resumed.Manifest.Counts(); p != 0 || done != len(jobs) || f != 0 || q != 0 {
+		t.Fatalf("manifest after resume: pending=%d done=%d failed=%d quarantined=%d", p, done, f, q)
 	}
 }
 
@@ -241,7 +452,7 @@ func TestPoolConcurrency(t *testing.T) {
 	}
 	// Order invariant: results[i] corresponds to jobs[i].
 	for i := range jobs {
-		if results[i].Key != jobs[i].Key() {
+		if results[i].Key != mustKey(t, jobs[i]) {
 			t.Fatalf("result %d out of order", i)
 		}
 	}

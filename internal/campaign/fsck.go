@@ -1,0 +1,161 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Flaw is one damaged file found by Fsck.
+type Flaw struct {
+	Path   string `json:"path"`
+	Reason string `json:"reason"`
+}
+
+// FsckReport is the result of a cache-directory integrity scan.
+type FsckReport struct {
+	Dir string
+
+	Scanned int    // entry files examined
+	OK      int    // current-schema entries that verified clean
+	Foreign int    // valid entries from other schema versions (kept)
+	Corrupt []Flaw // unparseable / checksum-mismatched / misfiled entries
+	Orphans []Flaw // leftover temp files from interrupted writes
+
+	ManifestOK      bool // journal present and header readable
+	ManifestRecords int
+	ManifestDropped int // torn journal lines
+
+	Pruned []string // removed by -prune
+}
+
+// Clean reports whether the scan found nothing to repair. A missing or
+// rebuilt manifest is not dirt — the engine reconstructs it — but corrupt
+// or orphaned entry files are.
+func (r *FsckReport) Clean() bool { return len(r.Corrupt) == 0 && len(r.Orphans) == 0 }
+
+// String renders the operator-facing summary `campaign fsck` prints.
+func (r *FsckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsck %s: %d entr(ies) scanned, %d ok", r.Dir, r.Scanned, r.OK)
+	if r.Foreign > 0 {
+		fmt.Fprintf(&b, ", %d foreign-schema (kept)", r.Foreign)
+	}
+	fmt.Fprintf(&b, ", %d corrupt, %d orphan(s)", len(r.Corrupt), len(r.Orphans))
+	if r.ManifestOK {
+		fmt.Fprintf(&b, "; manifest: %d record(s)", r.ManifestRecords)
+		if r.ManifestDropped > 0 {
+			fmt.Fprintf(&b, ", %d torn line(s) dropped", r.ManifestDropped)
+		}
+	} else {
+		b.WriteString("; manifest: absent or rebuilt")
+	}
+	for _, f := range r.Corrupt {
+		fmt.Fprintf(&b, "\n  corrupt: %s (%s)", f.Path, f.Reason)
+	}
+	for _, f := range r.Orphans {
+		fmt.Fprintf(&b, "\n  orphan:  %s (%s)", f.Path, f.Reason)
+	}
+	for _, p := range r.Pruned {
+		fmt.Fprintf(&b, "\n  pruned:  %s", p)
+	}
+	return b.String()
+}
+
+// isTempFile matches the temp names Cache.Put and Manifest.Save create
+// (".<key>.tmp-*" / ".manifest.tmp-*"): after a crash between create and
+// rename these linger as orphans.
+func isTempFile(name string) bool {
+	return strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-")
+}
+
+// Fsck scans a cache directory for corruption the way reads would detect
+// it — unparseable entries, checksum mismatches, entries filed under the
+// wrong key or shard, temp-file orphans, torn manifest lines — and
+// reports everything found. With prune set, corrupt entries and orphans
+// are deleted (they will simply re-simulate); valid entries from other
+// schema versions are reported but never pruned.
+func Fsck(dir string, prune bool) (*FsckReport, error) {
+	rep := &FsckReport{Dir: dir}
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("campaign: fsck: %w", err)
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != dir && d.Name() == quarantineDirName {
+				return filepath.SkipDir // diagnostic dumps, not entries
+			}
+			return nil
+		}
+		name := d.Name()
+		if isTempFile(name) {
+			rep.Orphans = append(rep.Orphans, Flaw{Path: path, Reason: "interrupted atomic write"})
+			return nil
+		}
+		if filepath.Dir(path) == dir {
+			return nil // manifest files live at the root, checked below
+		}
+		if !strings.HasSuffix(name, ".json") {
+			return nil
+		}
+		rep.Scanned++
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			rep.Corrupt = append(rep.Corrupt, Flaw{Path: path, Reason: fmt.Sprintf("unparseable: %v", err)})
+			return nil
+		}
+		if e.Schema != SchemaVersion {
+			rep.Foreign++
+			return nil
+		}
+		if len(e.Key) < 2 || name != e.Key+".json" || filepath.Base(filepath.Dir(path)) != e.Key[:2] {
+			rep.Corrupt = append(rep.Corrupt, Flaw{Path: path, Reason: fmt.Sprintf("misfiled: entry key %s", e.Key)})
+			return nil
+		}
+		if !verify(e) {
+			rep.Corrupt = append(rep.Corrupt, Flaw{Path: path, Reason: "checksum mismatch"})
+			return nil
+		}
+		rep.OK++
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: fsck: %w", err)
+	}
+	sortFlaws(rep.Corrupt)
+	sortFlaws(rep.Orphans)
+
+	if m, ok := LoadManifest(dir); ok {
+		rep.ManifestOK = true
+		rep.ManifestRecords = len(m.Jobs)
+		rep.ManifestDropped = m.Dropped()
+	}
+
+	if prune {
+		for _, list := range [][]Flaw{rep.Corrupt, rep.Orphans} {
+			for _, f := range list {
+				if err := os.Remove(f.Path); err != nil {
+					return rep, fmt.Errorf("campaign: fsck prune: %w", err)
+				}
+				rep.Pruned = append(rep.Pruned, f.Path)
+			}
+		}
+		sort.Strings(rep.Pruned)
+	}
+	return rep, nil
+}
+
+func sortFlaws(flaws []Flaw) {
+	sort.Slice(flaws, func(i, j int) bool { return flaws[i].Path < flaws[j].Path })
+}

@@ -16,12 +16,13 @@ type Reporter struct {
 	// final one always is). 0 means every completion.
 	Every int
 
-	mu     sync.Mutex
-	total  int
-	done   int
-	cached int
-	failed int
-	start  time.Time
+	mu          sync.Mutex
+	total       int
+	done        int
+	cached      int
+	failed      int
+	quarantined int
+	start       time.Time
 }
 
 // NewReporter creates a reporter writing to w.
@@ -32,7 +33,7 @@ func (r *Reporter) Start(total int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.total = total
-	r.done, r.cached, r.failed = 0, 0, 0
+	r.done, r.cached, r.failed, r.quarantined = 0, 0, 0, 0
 	r.start = time.Now() //simlint:allow determinism -- wall-clock ETA display on stderr; never feeds results or cache keys
 }
 
@@ -44,7 +45,15 @@ func (r *Reporter) JobDone(jr JobResult) {
 	if jr.Cached {
 		r.cached++
 	}
-	if jr.Failed() {
+	switch {
+	case jr.Quarantined:
+		r.quarantined++
+		line := fmt.Sprintf("campaign: QUARANTINED %s: %v", jr.Job, jr.Err)
+		if jr.DumpPath != "" {
+			line += fmt.Sprintf(" (dump: %s)", jr.DumpPath)
+		}
+		fmt.Fprintln(r.W, line)
+	case jr.Failed():
 		r.failed++
 		fmt.Fprintf(r.W, "campaign: FAILED %s after %d attempt(s): %v\n", jr.Job, jr.Attempts, jr.Err)
 	}
@@ -57,6 +66,9 @@ func (r *Reporter) JobDone(jr JobResult) {
 	}
 	if r.failed > 0 {
 		line += fmt.Sprintf(" (%d FAILED)", r.failed)
+	}
+	if r.quarantined > 0 {
+		line += fmt.Sprintf(" (%d QUARANTINED)", r.quarantined)
 	}
 	if eta := r.eta(); eta > 0 {
 		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
@@ -86,6 +98,10 @@ func (r *Reporter) Warn(msg string) {
 func (r *Reporter) Finish() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	fmt.Fprintf(r.W, "campaign: finished %d job(s) in %s (%d cached, %d simulated, %d failed)\n",
-		r.done, time.Since(r.start).Round(time.Millisecond), r.cached, r.done-r.cached-r.failed, r.failed)
+	line := fmt.Sprintf("campaign: finished %d job(s) in %s (%d cached, %d simulated, %d failed)",
+		r.done, time.Since(r.start).Round(time.Millisecond), r.cached, r.done-r.cached-r.failed-r.quarantined, r.failed)
+	if r.quarantined > 0 {
+		line += fmt.Sprintf(" (%d quarantined)", r.quarantined)
+	}
+	fmt.Fprintln(r.W, line)
 }

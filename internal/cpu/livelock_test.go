@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// loopProgram builds a long-running counted loop so the core is still busy
+// when an injected stall freezes commit.
+func loopProgram(iters int64) *isa.Program {
+	b := isa.NewBuilder("livelock-loop")
+	b.Li(1, iters)
+	b.Label("loop")
+	b.AddI(1, 1, -1)
+	b.Br(isa.CondNE, 1, 0, "loop")
+	b.Halt()
+	return b.Build()
+}
+
+func TestWatchdogDetectsInjectedLivelock(t *testing.T) {
+	m := newMachine(t, loopProgram(1_000_000), nil)
+	m.cfg.WatchdogWindow = 2_000
+	m.InjectCommitStall(500)
+	st := m.Run(0)
+
+	le := m.Livelock()
+	if le == nil {
+		t.Fatal("watchdog did not fire on injected commit stall")
+	}
+	if m.LivelockErr() == nil {
+		t.Fatal("LivelockErr nil despite diagnosis")
+	}
+	var asLE *LivelockError
+	if !errors.As(m.LivelockErr(), &asLE) {
+		t.Fatal("LivelockErr not an *LivelockError")
+	}
+	// Detection must happen within the configured window of the stall
+	// onset, not at MaxCycles.
+	if le.Cycle > 500+2_000+10 {
+		t.Errorf("detected at cycle %d, want within window of stall at 500", le.Cycle)
+	}
+	if st.Cycles >= uint64(m.cfg.MaxCycles) {
+		t.Errorf("run burned to MaxCycles (%d cycles)", st.Cycles)
+	}
+	if le.Window != 2_000 {
+		t.Errorf("window = %d, want 2000", le.Window)
+	}
+	if le.Stalled != "commit (injected stall)" {
+		t.Errorf("stalled structure = %q, want injected-stall commit", le.Stalled)
+	}
+	// Occupancy snapshots carry the configured capacities.
+	if le.ROB.Cap != m.cfg.ROBSize || le.LQ.Cap != m.cfg.LQSize || le.SQ.Cap != m.cfg.SQSize {
+		t.Errorf("capacities rob=%s lq=%s sq=%s", le.ROB, le.LQ, le.SQ)
+	}
+	// With commit frozen mid-loop the ROB backs up.
+	if le.ROB.Used == 0 {
+		t.Error("ROB empty at diagnosis of a frozen busy core")
+	}
+	msg := le.Error()
+	for _, frag := range []string{"livelock", "stalled on commit (injected stall)", "rob="} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("Error() = %q missing %q", msg, frag)
+		}
+	}
+}
+
+func TestWatchdogSilentOnHealthyRun(t *testing.T) {
+	m := newMachine(t, loopProgram(200), nil)
+	m.cfg.WatchdogWindow = 2_000
+	m.Run(0)
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	if m.Livelock() != nil || m.LivelockErr() != nil {
+		t.Fatalf("healthy run diagnosed livelock: %v", m.LivelockErr())
+	}
+}
+
+func TestWatchdogDisabledByZeroWindow(t *testing.T) {
+	m := newMachine(t, loopProgram(1_000_000), nil)
+	m.cfg.WatchdogWindow = 0
+	m.cfg.MaxCycles = 30_000
+	m.InjectCommitStall(500)
+	st := m.Run(0)
+	if m.Livelock() != nil {
+		t.Fatal("disabled watchdog still fired")
+	}
+	if st.Cycles < 29_000 {
+		t.Errorf("run stopped at %d cycles with watchdog off, want MaxCycles", st.Cycles)
+	}
+}

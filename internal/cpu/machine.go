@@ -8,8 +8,6 @@
 package cpu
 
 import (
-	"fmt"
-
 	"repro/internal/arch"
 	"repro/internal/branch"
 	"repro/internal/cache"
@@ -48,6 +46,12 @@ type Config struct {
 	ThreadID int
 	// MaxCycles aborts a runaway simulation (0 = no limit).
 	MaxCycles arch.Cycle
+	// WatchdogWindow is the forward-progress watchdog: when no
+	// instruction commits for this many cycles, Run stops and records a
+	// structured LivelockError (see Livelock / LivelockErr) naming the
+	// stalled structure with queue-occupancy snapshots. 0 disables the
+	// watchdog.
+	WatchdogWindow arch.Cycle
 }
 
 // DefaultConfig returns the paper's Table 4 core.
@@ -61,6 +65,7 @@ func DefaultConfig() Config {
 		CommitWidth:     4,
 		RedirectPenalty: 16,
 		Branch:          branch.DefaultConfig(),
+		WatchdogWindow:  200_000,
 	}
 }
 
@@ -256,6 +261,9 @@ type Machine struct {
 	cycleBase       arch.Cycle
 	committedBase   uint64
 
+	stallFrom arch.Cycle // injected commit stall (0 = none); see InjectCommitStall
+	livelock  *LivelockError
+
 	tracer  *trace.Ring
 	sampler *metrics.Sampler
 	hists   machineHists
@@ -406,15 +414,19 @@ func (m *Machine) ResetStats() {
 // the stats snapshot.
 func (m *Machine) Run(maxInstructions uint64) Stats {
 	limit := m.cfg.MaxCycles
+	watchdog := m.cfg.WatchdogWindow
+	m.livelock = nil
 	for !m.halted && (maxInstructions == 0 || m.Stats.Committed < maxInstructions) {
 		if limit != 0 && m.now >= limit {
 			break
 		}
 		m.step()
-		if m.now-m.lastCommitCycle > 200000 {
-			//simlint:allow errdiscipline -- deadlock watchdog: a 200k-cycle commit stall is a model bug, and the panic stack at the stall is the debugging artifact
-			panic(fmt.Sprintf("cpu: no commit for 200k cycles at cycle %d (pc=%v, robCount=%d, head=%+v)",
-				m.now, m.fetchPC, m.robCount, m.rob[m.robHead]))
+		if watchdog != 0 && m.now-m.lastCommitCycle > watchdog {
+			// Forward-progress watchdog: a commit stall this long is a
+			// model bug or an injected livelock. Diagnose and stop
+			// instead of burning to MaxCycles.
+			m.livelock = m.diagnoseLivelock(watchdog)
+			break
 		}
 	}
 	m.Stats.Cycles = uint64(m.now - m.cycleBase)

@@ -112,7 +112,11 @@ func (r *Runner) run(wl string, p sim.Policy, mod func(*sim.Config)) sim.Result 
 	if mod != nil {
 		mod(&cfg)
 	}
-	key := campaign.Key(wl, cfg)
+	key, err := campaign.Key(wl, cfg)
+	if err != nil {
+		r.errs = append(r.errs, fmt.Errorf("%s/%s: %w", wl, p, err))
+		return sim.Result{}
+	}
 	if res, ok := r.memo[key]; ok {
 		return res
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/faultinject"
 	"repro/internal/invisispec"
 	"repro/internal/isa"
 	"repro/internal/memsys"
@@ -101,6 +102,17 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations (default 500M).
 	MaxCycles uint64
+	// WatchdogWindow is the core's forward-progress watchdog: a run that
+	// commits nothing for this many cycles fails fast with a structured
+	// *cpu.LivelockError naming the stalled structure, instead of
+	// burning to MaxCycles (default 200k). It bounds simulated behavior,
+	// so it participates in campaign cache keys.
+	WatchdogWindow uint64
+	// Faults, when non-nil, applies this run's deterministic fault
+	// schedule (currently the simulation-step commit stall that seeds a
+	// livelock for the watchdog). A chaos-test hook like Trace/Metrics:
+	// nil in production, excluded from campaign cache keys.
+	Faults *faultinject.Injector `json:"-"`
 	// Trace, when non-nil, records the run's structured event trace
 	// (squashes, loads, cleanups, commits) into the ring. Observability
 	// hooks never affect simulation outcomes and are excluded from
@@ -126,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 500_000_000
+	}
+	if c.WatchdogWindow == 0 {
+		c.WatchdogWindow = 200_000
 	}
 	if c.Warmup == 0 && !c.NoWarmup {
 		c.Warmup = c.Instructions
@@ -287,12 +302,19 @@ func runProgram(name string, prog *Program, cfg Config, prewarm func(*memsys.Hie
 	}
 	ccfg := cpu.DefaultConfig()
 	ccfg.MaxCycles = arch.Cycle(cfg.MaxCycles)
+	ccfg.WatchdogWindow = arch.Cycle(cfg.WatchdogWindow)
 	m := cpu.New(ccfg, prog, h, pol)
 	if cfg.Trace != nil {
 		m.AttachTracer(cfg.Trace)
 	}
+	if at, ok := cfg.Faults.StallCycle(); ok {
+		m.InjectCommitStall(arch.Cycle(at))
+	}
 	if cfg.Warmup > 0 {
 		m.Run(cfg.Warmup)
+		if lerr := m.LivelockErr(); lerr != nil {
+			return Result{}, fmt.Errorf("sim: %s (warmup): %w", name, lerr)
+		}
 		if !m.Halted() {
 			m.ResetStats()
 			h.ResetStats()
@@ -318,6 +340,9 @@ func runProgram(name string, prog *Program, cfg Config, prewarm func(*memsys.Hie
 		cfg.Metrics.Sampler = smp
 	}
 	st := m.Run(cfg.Instructions)
+	if lerr := m.LivelockErr(); lerr != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", name, lerr)
+	}
 	if !m.Halted() && st.Committed < cfg.Instructions {
 		return Result{}, fmt.Errorf("sim: %s stalled at %d/%d instructions", name, st.Committed, cfg.Instructions)
 	}
@@ -466,6 +491,10 @@ type TraceEvent = trace.Event
 
 // NewTraceRing creates a ring retaining the last capacity events.
 func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// LivelockError is the forward-progress watchdog's structured diagnosis
+// (see Config.WatchdogWindow); unwrap run errors with errors.As.
+type LivelockError = cpu.LivelockError
 
 // StorageOverheadBytes returns CleanupSpec's SEFE storage per core for the
 // paper's configuration (Section 6.6).
