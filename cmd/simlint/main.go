@@ -1,18 +1,31 @@
 // Command simlint runs the simulator-specific static-analysis suite over
-// this module: determinism (map iteration order, ambient randomness),
-// metrics-completeness (every Stats counter bound to the registry),
-// cache-key purity (every sim.Config field keyed or excluded+zeroed),
-// cycle-typing (latency fields are uint64), and error-discipline (no panic
-// in internal/ outside must* helpers).
+// this module: determinism (flow-sensitive map iteration order, ambient
+// randomness), metrics-completeness (every Stats counter bound to the
+// registry), cache-key purity (every sim.Config field keyed or
+// excluded+zeroed), cycle-typing (latency fields are uint64),
+// error-discipline (no panic in internal/ outside must* helpers),
+// lockorder (acquisition cycles, double locking, guarded fields touched
+// without their mutex), enumexhaustive (switches over iota enums cover
+// every constant or declare a default), and staledirective (suppressions
+// that no longer suppress anything).
 //
 // Usage:
 //
-//	simlint [-json] [-enable a,b] [-disable a,b] [packages]
+//	simlint [-json] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]
 //
 // Packages are directory patterns relative to the current directory
 // ("./...", "./internal/campaign", "./internal/..."); the default is the
-// whole module. Exit status is 1 when findings are reported, 2 on a load
-// or usage error, 0 when clean. Suppressions require a justification:
+// whole module. Exit status is 1 when findings are reported (or, with
+// -fix -diff, when fixes would change files), 2 on a load or usage error,
+// 0 when clean.
+//
+// -fix applies every mechanical rewrite the analyzers propose — the
+// collect-then-sort map-range idiom and stale-directive removal — through
+// gofmt, and is idempotent: a second run changes nothing. -fix -diff
+// previews the same rewrites as a unified diff without touching files
+// (CI runs this as a blocking step). Findings with no mechanical fix are
+// still printed and still fail the run. Suppressions require a
+// justification:
 //
 //	//simlint:ordered -- <why iteration order is irrelevant>
 //	//simlint:allow <analyzer> -- <why this is safe>
@@ -38,11 +51,19 @@ func run() int {
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	fix := flag.Bool("fix", false, "apply mechanical fixes (gofmt-clean, idempotent)")
+	diff := flag.Bool("diff", false, "with -fix: preview fixes as a unified diff instead of writing files")
+	workers := flag.Int("workers", 0, "package-analysis worker pool size (0 = GOMAXPROCS); output is identical for any value")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-enable a,b] [-disable a,b] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *diff && !*fix {
+		fmt.Fprintln(os.Stderr, "simlint: -diff requires -fix")
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -73,7 +94,14 @@ func run() int {
 		return 2
 	}
 
-	findings := analysis.NewRunner(mod).Run(analyzers, match)
+	runner := analysis.NewRunner(mod)
+	runner.Workers = *workers
+	findings := runner.Run(analyzers, match)
+
+	if *fix {
+		return runFix(cwd, mod, findings, *diff)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -94,6 +122,60 @@ func run() int {
 		}
 	}
 	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runFix materializes the mechanical fixes carried by findings: with
+// diffOnly it prints a unified diff and leaves the tree untouched,
+// otherwise it rewrites the files in place. Findings without a fix are
+// printed either way; the exit status is 1 unless the tree is both
+// finding-free and fix-free.
+func runFix(cwd string, mod *analysis.Module, findings []analysis.Finding, diffOnly bool) int {
+	fixes, err := analysis.ApplyFixes(mod, findings)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return name
+	}
+
+	skipped := 0
+	for _, ff := range fixes {
+		skipped += ff.Skipped
+		if diffOnly {
+			fmt.Print(ff.Diff(rel(ff.Name)))
+			continue
+		}
+		if err := os.WriteFile(ff.Name, ff.Fixed, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Printf("simlint: fixed %s (%s)\n", rel(ff.Name), strings.Join(ff.Messages, "; "))
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d overlapping fix(es) deferred; run -fix again\n", skipped)
+	}
+
+	manual := 0
+	for _, f := range findings {
+		if f.Fix != nil {
+			continue
+		}
+		manual++
+		pf := f
+		pf.Pos.Filename = rel(f.Pos.Filename)
+		fmt.Println(pf)
+	}
+	if len(fixes) > 0 && diffOnly {
+		fmt.Fprintf(os.Stderr, "simlint: %d file(s) need simlint -fix\n", len(fixes))
+	}
+	if manual > 0 || skipped > 0 || (diffOnly && len(fixes) > 0) {
 		return 1
 	}
 	return 0

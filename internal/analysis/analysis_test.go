@@ -120,19 +120,74 @@ func TestAnalyzerByName(t *testing.T) {
 // TestDirectiveSuppresses pins the directive-to-analyzer matching rules.
 func TestDirectiveSuppresses(t *testing.T) {
 	cases := []struct {
-		d        directive
+		d        *directive
 		analyzer string
 		want     bool
 	}{
-		{directive{verb: "ordered"}, "determinism", true},
-		{directive{verb: "ordered"}, "errdiscipline", false},
-		{directive{verb: "allow", analyzers: []string{"errdiscipline"}}, "errdiscipline", true},
-		{directive{verb: "allow", analyzers: []string{"errdiscipline"}}, "determinism", false},
-		{directive{verb: "allow", analyzers: []string{"cachekey", "cycletyping"}}, "cycletyping", true},
+		{&directive{verb: "ordered"}, "determinism", true},
+		{&directive{verb: "ordered"}, "errdiscipline", false},
+		{&directive{verb: "allow", analyzers: []string{"errdiscipline"}}, "errdiscipline", true},
+		{&directive{verb: "allow", analyzers: []string{"errdiscipline"}}, "determinism", false},
+		{&directive{verb: "allow", analyzers: []string{"cachekey", "cycletyping"}}, "cycletyping", true},
 	}
 	for _, c := range cases {
 		if got := c.d.suppresses(c.analyzer); got != c.want {
-			t.Errorf("%+v suppresses %s = %v, want %v", c.d, c.analyzer, got, c.want)
+			t.Errorf("{verb:%s analyzers:%v} suppresses %s = %v, want %v", c.d.verb, c.d.analyzers, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// TestParallelMatchesSerial requires the worker-pool driver to produce
+// findings byte-identical to a serial run, for any worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	mod, err := Load(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("load testdata module: %v", err)
+	}
+	serialRunner := NewRunner(mod)
+	serialRunner.Workers = 1
+	serial := serialRunner.Run(Analyzers(), nil)
+	for _, workers := range []int{2, 4, 16} {
+		r := NewRunner(mod)
+		r.Workers = workers
+		got := r.Run(Analyzers(), nil)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d findings, serial has %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i].String() != serial[i].String() {
+				t.Errorf("workers=%d: finding %d = %q, serial has %q", workers, i, got[i], serial[i])
+			}
+			if (got[i].Fix == nil) != (serial[i].Fix == nil) {
+				t.Errorf("workers=%d: finding %d fix presence differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// TestSortFindingsTieBreak pins the same-position ordering: analyzer
+// name first, then message.
+func TestSortFindingsTieBreak(t *testing.T) {
+	mk := func(analyzer, msg string) Finding {
+		f := Finding{Analyzer: analyzer, Message: msg}
+		f.Pos.Filename = "x.go"
+		f.Pos.Line = 10
+		f.Pos.Column = 2
+		return f
+	}
+	got := []Finding{
+		mk("lockorder", "b"),
+		mk("determinism", "z"),
+		mk("lockorder", "a"),
+		mk("determinism", "a"),
+	}
+	sortFindings(got)
+	wantOrder := []string{
+		"determinism:a", "determinism:z", "lockorder:a", "lockorder:b",
+	}
+	for i, f := range got {
+		if key := f.Analyzer + ":" + f.Message; key != wantOrder[i] {
+			t.Errorf("position %d = %s, want %s", i, key, wantOrder[i])
 		}
 	}
 }

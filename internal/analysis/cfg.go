@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the control-flow half of simlint's dataflow engine: a
+// lightweight intra-procedural CFG built directly over go/ast, with no
+// x/tools dependency (matching the PR 3 driver). Blocks hold the
+// statements and conditions they execute in order; analyzers run the
+// generic fixpoint solver in dataflow.go over the block graph and then
+// replay block transfers to recover per-node facts.
+//
+// Coverage: if/else, for (all three clauses), range, switch (with
+// fallthrough), type switch, select, labeled break/continue, return, and
+// defer (kept in place as an ordinary node; analyzers that care about
+// function-exit effects handle *ast.DeferStmt themselves). A function
+// that uses goto or a bare label is not given a CFG — buildCFG returns
+// nil and callers fall back to their conservative path — because an
+// unstructured jump would invalidate the solver's path reasoning.
+
+// block is one straight-line run of CFG nodes. A node is either a
+// statement or a condition expression (if/for conditions appear as bare
+// ast.Expr nodes so transfer functions see them in evaluation order).
+type block struct {
+	index int
+	nodes []ast.Node
+	succs []*block
+	preds []*block
+}
+
+// cfg is the control-flow graph of one function body. entry is the first
+// block executed; exit is a distinguished empty block every return (and
+// the natural fall-off-the-end path) feeds into.
+type cfg struct {
+	blocks []*block
+	entry  *block
+	exit   *block
+}
+
+// labelTarget is the pair of jump destinations a labeled loop or switch
+// exposes to break/continue statements naming it.
+type labelTarget struct {
+	brk  *block
+	cont *block // nil for labeled switch/select
+}
+
+// cfgBuilder carries the per-construct break/continue targets while the
+// graph is assembled.
+type cfgBuilder struct {
+	g      *cfg
+	ok     bool // false once an unsupported construct (goto) is seen
+	labels map[string]*labelTarget
+}
+
+// buildCFG constructs the CFG for one function body, or returns nil when
+// the body uses a construct (goto, bare label) the engine cannot model
+// soundly.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{}, ok: true, labels: make(map[string]*labelTarget)}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	last := b.stmtList(b.g.entry, body.List, nil, nil)
+	b.edge(last, b.g.exit)
+	if !b.ok {
+		return nil
+	}
+	for _, blk := range b.g.blocks {
+		for _, s := range blk.succs {
+			s.preds = append(s.preds, blk)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// edge links cur to next unless cur is nil (unreachable) or next is nil
+// (no such jump target; only possible in ill-formed input).
+func (b *cfgBuilder) edge(cur, next *block) {
+	if cur == nil || next == nil {
+		return
+	}
+	cur.succs = append(cur.succs, next)
+}
+
+// stmtList threads the statements of one block scope through the graph;
+// it returns the block control falls out of (nil when every path left
+// via return/break/continue).
+func (b *cfgBuilder) stmtList(cur *block, stmts []ast.Stmt, brk, cont *block) *block {
+	for _, s := range stmts {
+		cur = b.stmt(cur, s, brk, cont)
+	}
+	return cur
+}
+
+// stmt wires one statement into the graph starting at cur and returns
+// the fall-through block (nil if control cannot fall through).
+func (b *cfgBuilder) stmt(cur *block, s ast.Stmt, brk, cont *block) *block {
+	if cur == nil {
+		// Unreachable code still gets blocks (with no predecessors) so
+		// analyzers can replay it; its facts stay at bottom.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List, brk, cont)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenEnd := b.stmtList(thenB, s.Body.List, brk, cont)
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			elseEnd := b.stmt(elseB, s.Else, brk, cont)
+			b.edge(elseEnd, join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		return b.forStmt(cur, s, nil)
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(cur, s, nil)
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s.Init, s.Tag, s.Body, cont, nil)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(cur, s.Init, nil, s.Body, cont, nil)
+
+	case *ast.SelectStmt:
+		return b.selectStmt(cur, s, cont, nil)
+
+	case *ast.LabeledStmt:
+		return b.labeledStmt(cur, s, brk, cont)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			target := brk
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					target = lt.brk
+				}
+			}
+			b.edge(cur, target)
+			return nil
+		case token.CONTINUE:
+			target := cont
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					target = lt.cont
+				}
+			}
+			b.edge(cur, target)
+			return nil
+		case token.GOTO:
+			b.ok = false
+			b.edge(cur, b.g.exit)
+			return nil
+		default: // FALLTHROUGH: handled by switchStmt via clause wiring
+			return cur
+		}
+
+	default:
+		// Assign, Decl, Expr, IncDec, Send, Go, Defer, Empty: straight-line.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// forStmt wires a three-clause for loop. When the loop is labeled, lbl
+// is pre-allocated by labeledStmt and its cont target is filled in here
+// (the post block, which every continue must route through).
+func (b *cfgBuilder) forStmt(cur *block, s *ast.ForStmt, lbl *labelTarget) *block {
+	if s.Init != nil {
+		cur.nodes = append(cur.nodes, s.Init)
+	}
+	head := b.newBlock()
+	b.edge(cur, head)
+	if s.Cond != nil {
+		head.nodes = append(head.nodes, s.Cond)
+	}
+	after := b.newBlock()
+	postB := b.newBlock()
+	if s.Post != nil {
+		postB.nodes = append(postB.nodes, s.Post)
+	}
+	b.edge(postB, head)
+	if lbl != nil {
+		lbl.brk = after
+		lbl.cont = postB
+	}
+	bodyB := b.newBlock()
+	b.edge(head, bodyB)
+	bodyEnd := b.stmtList(bodyB, s.Body.List, after, postB)
+	b.edge(bodyEnd, postB)
+	if s.Cond != nil {
+		b.edge(head, after) // condition false
+	}
+	return after
+}
+
+// rangeStmt wires a range loop. The RangeStmt itself is the head node,
+// so transfer functions see the range (and its X expression) once per
+// loop entry.
+func (b *cfgBuilder) rangeStmt(cur *block, s *ast.RangeStmt, lbl *labelTarget) *block {
+	head := b.newBlock()
+	b.edge(cur, head)
+	head.nodes = append(head.nodes, s)
+	after := b.newBlock()
+	b.edge(head, after) // zero iterations / loop done
+	if lbl != nil {
+		lbl.brk = after
+		lbl.cont = head
+	}
+	bodyB := b.newBlock()
+	b.edge(head, bodyB)
+	bodyEnd := b.stmtList(bodyB, s.Body.List, after, head)
+	b.edge(bodyEnd, head)
+	return after
+}
+
+// switchStmt wires a (type) switch: the tag evaluates in cur, every case
+// clause gets its own chain, fallthrough links a clause end to the next
+// clause body, and a missing default adds the skip edge.
+func (b *cfgBuilder) switchStmt(cur *block, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, cont *block, lbl *labelTarget) *block {
+	if init != nil {
+		cur.nodes = append(cur.nodes, init)
+	}
+	if tag != nil {
+		cur.nodes = append(cur.nodes, tag)
+	}
+	after := b.newBlock()
+	if lbl != nil {
+		lbl.brk = after
+	}
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, raw := range body.List {
+		if cc, ok := raw.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	starts := make([]*block, len(clauses))
+	for i := range clauses {
+		starts[i] = b.newBlock()
+		b.edge(cur, starts[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			starts[i].nodes = append(starts[i].nodes, e)
+		}
+		end := b.stmtList(starts[i], cc.Body, after, cont)
+		if fallsThrough(cc.Body) && i+1 < len(clauses) {
+			b.edge(end, starts[i+1])
+		} else {
+			b.edge(end, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	return after
+}
+
+// selectStmt wires a select: each comm clause's send/receive statement
+// heads its own chain.
+func (b *cfgBuilder) selectStmt(cur *block, s *ast.SelectStmt, cont *block, lbl *labelTarget) *block {
+	after := b.newBlock()
+	if lbl != nil {
+		lbl.brk = after
+	}
+	if len(s.Body.List) == 0 {
+		b.edge(cur, after) // empty select blocks forever; keep the graph connected
+		return after
+	}
+	for _, clause := range s.Body.List {
+		cc := clause.(*ast.CommClause)
+		cb := b.newBlock()
+		b.edge(cur, cb)
+		if cc.Comm != nil {
+			cb.nodes = append(cb.nodes, cc.Comm)
+		}
+		end := b.stmtList(cb, cc.Body, after, cont)
+		b.edge(end, after)
+	}
+	return after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough
+// statement.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// labeledStmt registers the label's jump targets, builds the labeled
+// construct (which fills in the targets), and unregisters the label.
+func (b *cfgBuilder) labeledStmt(cur *block, s *ast.LabeledStmt, brk, cont *block) *block {
+	lt := &labelTarget{}
+	b.labels[s.Label.Name] = lt
+	defer delete(b.labels, s.Label.Name)
+	var end *block
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		end = b.forStmt(cur, inner, lt)
+	case *ast.RangeStmt:
+		end = b.rangeStmt(cur, inner, lt)
+	case *ast.SwitchStmt:
+		end = b.switchStmt(cur, inner.Init, inner.Tag, inner.Body, cont, lt)
+	case *ast.TypeSwitchStmt:
+		end = b.switchStmt(cur, inner.Init, nil, inner.Body, cont, lt)
+	case *ast.SelectStmt:
+		end = b.selectStmt(cur, inner, cont, lt)
+	default:
+		// A bare label is a potential goto target: unsupported.
+		b.ok = false
+		end = b.stmt(cur, s.Stmt, brk, cont)
+	}
+	return end
+}

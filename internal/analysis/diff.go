@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// unifiedDiff renders a unified diff (3 lines of context) between two
+// byte slices, labeled aName/bName, for `simlint -fix -diff` previews.
+// Returns "" when the inputs are equal. The implementation is a plain
+// longest-common-subsequence table — simlint diffs single source files,
+// where quadratic cost is irrelevant — with a whole-file fallback above
+// a size cap so pathological inputs stay bounded.
+func unifiedDiff(aName, bName string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al := splitLines(string(a))
+	bl := splitLines(string(b))
+
+	var ops []diffOp
+	if len(al)*len(bl) > 16<<20 {
+		ops = []diffOp{{del: len(al), ins: len(bl)}}
+	} else {
+		ops = diffOps(al, bl)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", aName, bName)
+	const ctx = 3
+
+	// Walk ops grouping changed regions into hunks with ctx context lines.
+	type lineEdit struct {
+		kind byte // ' ', '-', '+'
+		text string
+	}
+	var edits []lineEdit
+	ai, bi := 0, 0
+	for _, op := range ops {
+		for i := 0; i < op.keep; i++ {
+			edits = append(edits, lineEdit{' ', al[ai]})
+			ai++
+			bi++
+		}
+		for i := 0; i < op.del; i++ {
+			edits = append(edits, lineEdit{'-', al[ai]})
+			ai++
+		}
+		for i := 0; i < op.ins; i++ {
+			edits = append(edits, lineEdit{'+', bl[bi]})
+			bi++
+		}
+	}
+
+	// Identify hunk ranges over the edit script.
+	i := 0
+	aLine, bLine := 1, 1
+	for i < len(edits) {
+		if edits[i].kind == ' ' {
+			i++
+			aLine++
+			bLine++
+			continue
+		}
+		// Start of a changed region: back up for context.
+		start := i
+		ctxStart := start - ctx
+		if ctxStart < 0 {
+			ctxStart = 0
+		}
+		aStart := aLine - (start - ctxStart)
+		bStart := bLine - (start - ctxStart)
+		// Extend until ctx*2 consecutive unchanged lines (or EOF).
+		end := i
+		unchanged := 0
+		j := i
+		for j < len(edits) {
+			if edits[j].kind == ' ' {
+				unchanged++
+				if unchanged > ctx*2 {
+					break
+				}
+			} else {
+				unchanged = 0
+				end = j + 1
+			}
+			j++
+		}
+		ctxEnd := end + ctx
+		if ctxEnd > len(edits) {
+			ctxEnd = len(edits)
+		}
+		var aCount, bCount int
+		var body strings.Builder
+		for k := ctxStart; k < ctxEnd; k++ {
+			e := edits[k]
+			body.WriteByte(e.kind)
+			body.WriteString(e.text)
+			body.WriteByte('\n')
+			switch e.kind {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n%s", aStart, aCount, bStart, bCount, body.String())
+		// Advance line counters over the consumed edits.
+		for k := i; k < ctxEnd; k++ {
+			switch edits[k].kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		i = ctxEnd
+	}
+	return sb.String()
+}
+
+// diffOp is one run of the edit script: keep common lines, then delete
+// from a, then insert from b.
+type diffOp struct {
+	keep, del, ins int
+}
+
+// diffOps computes an LCS-based edit script between two line slices.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = length of the LCS of a[i:] and b[j:].
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	var cur diffOp
+	flush := func() {
+		if cur != (diffOp{}) {
+			ops = append(ops, cur)
+			cur = diffOp{}
+		}
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			if cur.del > 0 || cur.ins > 0 {
+				flush()
+			}
+			cur.keep++
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			if cur.ins > 0 {
+				flush()
+			}
+			cur.del++
+			i++
+		default:
+			cur.ins++
+			j++
+		}
+	}
+	cur.del += n - i
+	cur.ins += m - j
+	flush()
+	return ops
+}
+
+// splitLines splits s into lines without their trailing newline; a final
+// newline does not produce an empty trailing element.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}

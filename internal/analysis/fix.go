@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements simlint's autofix layer. Analyzers attach a *Fix
+// (a set of byte-range text edits) to a finding via ReportFix; the CLI
+// applies them with ApplyFixes, which splices the edits into the original
+// source bytes and runs the result through go/format. Working on source
+// bytes rather than re-printing the AST keeps every untouched line — and
+// its comments — byte-identical, which is what makes `-fix` idempotent:
+// a second run finds nothing left to rewrite and changes nothing.
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// Fix is one mechanical rewrite: a short description and the edits that
+// implement it. Edits must not overlap within one Fix.
+type Fix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// FileFix is the resolved outcome of ApplyFixes for one file.
+type FileFix struct {
+	Name     string // absolute path
+	Orig     []byte
+	Fixed    []byte // gofmt-formatted result
+	Applied  int    // fixes applied
+	Skipped  int    // fixes dropped because their edits overlapped an earlier fix
+	Messages []string
+}
+
+// ApplyFixes materializes every fix carried by findings into per-file
+// rewrites, returned sorted by file name. Files whose fixed content
+// equals the original are omitted. When two fixes' edits overlap, the
+// one whose first edit starts earlier wins and the other is skipped —
+// a later simlint -fix run will pick it up against the rewritten tree.
+func ApplyFixes(mod *Module, findings []Finding) ([]*FileFix, error) {
+	type pendingFix struct {
+		fix   *Fix
+		start int // offset of the earliest edit, for deterministic ordering
+	}
+	byFile := make(map[string][]pendingFix)
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			continue
+		}
+		file := mod.Fset.Position(f.Fix.Edits[0].Pos).Filename
+		start := mod.Fset.Position(f.Fix.Edits[0].Pos).Offset
+		for _, e := range f.Fix.Edits {
+			if mod.Fset.Position(e.Pos).Filename != file {
+				return nil, fmt.Errorf("analysis: fix %q spans multiple files", f.Fix.Message)
+			}
+			if off := mod.Fset.Position(e.Pos).Offset; off < start {
+				start = off
+			}
+		}
+		byFile[file] = append(byFile[file], pendingFix{fix: f.Fix, start: start})
+	}
+
+	files := make([]string, 0, len(byFile))
+	for name := range byFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+
+	var out []*FileFix
+	for _, name := range files {
+		orig, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: reading %s for -fix: %w", name, err)
+		}
+		pend := byFile[name]
+		sort.Slice(pend, func(i, j int) bool { return pend[i].start < pend[j].start })
+
+		ff := &FileFix{Name: name, Orig: orig}
+		type span struct {
+			lo, hi int
+			text   string
+		}
+		var spans []span
+		overlaps := func(lo, hi int) bool {
+			for _, s := range spans {
+				if lo < s.hi && s.lo < hi {
+					return true
+				}
+			}
+			return false
+		}
+		for _, p := range pend {
+			var add []span
+			ok := true
+			for _, e := range p.fix.Edits {
+				lo := mod.Fset.Position(e.Pos).Offset
+				hi := mod.Fset.Position(e.End).Offset
+				if lo < 0 || hi > len(orig) || lo > hi {
+					return nil, fmt.Errorf("analysis: fix %q has an edit outside %s", p.fix.Message, name)
+				}
+				if e.NewText == "" {
+					lo, hi = widenDeletion(orig, lo, hi)
+				}
+				if overlaps(lo, hi) {
+					ok = false
+					break
+				}
+				add = append(add, span{lo, hi, e.NewText})
+			}
+			if !ok {
+				ff.Skipped++
+				continue
+			}
+			spans = append(spans, add...)
+			ff.Applied++
+			ff.Messages = append(ff.Messages, p.fix.Message)
+		}
+		if len(spans) == 0 {
+			continue
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo > spans[j].lo })
+		fixed := append([]byte(nil), orig...)
+		for _, s := range spans {
+			fixed = append(fixed[:s.lo], append([]byte(s.text), fixed[s.hi:]...)...)
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: -fix produced unparseable code for %s (this is a simlint bug): %w", name, err)
+		}
+		if string(formatted) == string(orig) {
+			continue
+		}
+		ff.Fixed = formatted
+		out = append(out, ff)
+	}
+	return out, nil
+}
+
+// Diff renders the fix as a unified diff between the original and fixed
+// contents, labeling both sides with the given display name.
+func (ff *FileFix) Diff(name string) string {
+	return unifiedDiff(name+" (before -fix)", name+" (after -fix)", ff.Orig, ff.Fixed)
+}
+
+// widenDeletion grows a pure-deletion span so that removing a comment
+// that had a line to itself also removes the now-blank line, instead of
+// leaving whitespace behind.
+func widenDeletion(src []byte, lo, hi int) (int, int) {
+	ls := lo
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	le := hi
+	for le < len(src) && src[le] != '\n' {
+		le++
+	}
+	leftBlank := strings.TrimSpace(string(src[ls:lo])) == ""
+	rightBlank := strings.TrimSpace(string(src[hi:le])) == ""
+	if leftBlank && rightBlank {
+		if le < len(src) {
+			le++ // take the newline too
+		}
+		return ls, le
+	}
+	if leftBlank && !rightBlank {
+		return lo, hi
+	}
+	// Trailing comment: also eat the spaces separating it from the code.
+	for lo > 0 && (src[lo-1] == ' ' || src[lo-1] == '\t') {
+		lo--
+	}
+	return lo, hi
+}
+
+// addImportEdit returns a TextEdit that makes file import path, or
+// ok=false when the import is already present. The edit inserts into the
+// first import block in sorted position (or adds a new import declaration
+// after the package clause when the file has none).
+func addImportEdit(f *ast.File, path string) (TextEdit, bool) {
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return TextEdit{}, false
+		}
+	}
+	quoted := strconv.Quote(path)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen == token.NoPos {
+			// Single-import declaration: add a sibling declaration after it.
+			return TextEdit{Pos: gd.End(), End: gd.End(), NewText: "\nimport " + quoted}, true
+		}
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			if is.Path.Value > quoted {
+				return TextEdit{Pos: is.Pos(), End: is.Pos(), NewText: quoted + "\n"}, true
+			}
+		}
+		return TextEdit{Pos: gd.Rparen, End: gd.Rparen, NewText: "\t" + quoted + "\n"}, true
+	}
+	return TextEdit{Pos: f.Name.End(), End: f.Name.End(), NewText: "\n\nimport " + quoted}, true
+}

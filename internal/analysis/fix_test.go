@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyTree duplicates the golden module into a temp dir so -fix can be
+// exercised destructively.
+func copyTree(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying %s: %v", src, err)
+	}
+	return dst
+}
+
+// applyAll runs the suite and writes every produced fix, returning how
+// many files changed.
+func applyAll(t *testing.T, dir string) int {
+	t.Helper()
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	fixes, err := ApplyFixes(mod, NewRunner(mod).Run(Analyzers(), nil))
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	for _, ff := range fixes {
+		if formatted, err := format.Source(ff.Fixed); err != nil || string(formatted) != string(ff.Fixed) {
+			t.Errorf("%s: -fix output is not gofmt-clean (err=%v)", ff.Name, err)
+		}
+		if err := os.WriteFile(ff.Name, ff.Fixed, 0o644); err != nil {
+			t.Fatalf("writing fix: %v", err)
+		}
+	}
+	return len(fixes)
+}
+
+// TestFixIdempotent applies every fix the golden module produces, checks
+// the rewrites took the expected shape, and requires a second pass to be
+// a byte-for-byte no-op: -fix twice == -fix once.
+func TestFixIdempotent(t *testing.T) {
+	dir := copyTree(t, filepath.Join("testdata", "src"))
+
+	if n := applyAll(t, dir); n == 0 {
+		t.Fatal("first -fix pass changed no files; want at least det.go and staledir.go rewritten")
+	}
+
+	det, err := os.ReadFile(filepath.Join(dir, "internal", "det", "det.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(det), "slices.Sort(") {
+		t.Error("det.go: map-range fix did not produce a slices.Sort collect-then-sort rewrite")
+	}
+	stale, err := os.ReadFile(filepath.Join(dir, "internal", "staledir", "staledir.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(stale), "//simlint:") {
+		t.Error("staledir.go: stale directives were not removed by -fix")
+	}
+
+	if n := applyAll(t, dir); n != 0 {
+		t.Errorf("second -fix pass changed %d file(s); -fix must be idempotent", n)
+	}
+}
+
+// TestRepoFixClean loads the real module and requires that -fix has
+// nothing to do: the tree must stay byte-identical under simlint -fix.
+func TestRepoFixClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	mod, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("load repo module: %v", err)
+	}
+	fixes, err := ApplyFixes(mod, NewRunner(mod).Run(Analyzers(), nil))
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	for _, ff := range fixes {
+		t.Errorf("repo not fix-clean: simlint -fix would rewrite %s (%s)", ff.Name, strings.Join(ff.Messages, "; "))
+	}
+}
+
+// TestUnifiedDiff pins the -diff preview rendering.
+func TestUnifiedDiff(t *testing.T) {
+	if d := unifiedDiff("a", "b", []byte("x\n"), []byte("x\n")); d != "" {
+		t.Errorf("diff of equal inputs = %q, want empty", d)
+	}
+	d := unifiedDiff("a.go", "b.go", []byte("one\ntwo\nthree\n"), []byte("one\nTWO\nthree\n"))
+	for _, wantLine := range []string{"--- a.go", "+++ b.go", "-two", "+TWO", " one", " three"} {
+		if !strings.Contains(d, wantLine+"\n") {
+			t.Errorf("diff missing line %q:\n%s", wantLine, d)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// mapRangeFix builds the `simlint -fix` rewrite for a flagged map range:
+//
+//	for k, v := range m { … }
+//
+// becomes
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	slices.Sort(keys)
+//	for _, k := range keys {
+//		v := m[k]
+//		…
+//	}
+//
+// Only the loop header is replaced — the body bytes stay verbatim, which
+// is what keeps the fix idempotent and comment-preserving. The rewrite is
+// offered only when it is provably behavior-preserving apart from
+// iteration order: the loop uses `:=` bindings, the map operand is a
+// plain (possibly dotted) identifier the body never mentions, and the key
+// type is an ordered non-float type nameable in this file. Everything
+// else returns nil and the finding stays manual.
+func mapRangeFix(p *Pass, file *ast.File, body *ast.BlockStmt, rng *ast.RangeStmt) *Fix {
+	if rng.Tok != token.DEFINE || rng.Key == nil {
+		return nil
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	var valID *ast.Ident
+	if rng.Value != nil {
+		valID, ok = rng.Value.(*ast.Ident)
+		if !ok || valID.Name == "_" {
+			valID = nil
+		}
+		if !ok {
+			return nil
+		}
+	}
+
+	xText, ok := renderOperand(rng.X)
+	if !ok {
+		return nil
+	}
+	if mentionsText(rng.Body, xText) {
+		return nil
+	}
+
+	mt, ok := p.Pkg.Info.TypeOf(rng.X).Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	keyType, ok := keyTypeText(p, file, mt.Key())
+	if !ok {
+		return nil
+	}
+
+	used := identNames(file)
+	keysName := freshName("keys", used)
+	keyName := keyID.Name
+	if keyName == "_" {
+		keyName = freshName("k", used)
+	}
+
+	header := fmt.Sprintf("%s := make([]%s, 0, len(%s))\nfor %s := range %s {\n%s = append(%s, %s)\n}\nslices.Sort(%s)\nfor _, %s := range %s {",
+		keysName, keyType, xText,
+		keyName, xText,
+		keysName, keysName, keyName,
+		keysName,
+		keyName, keysName)
+	if valID != nil {
+		header += fmt.Sprintf("\n%s := %s[%s]", valID.Name, xText, keyName)
+	}
+
+	fix := &Fix{
+		Message: fmt.Sprintf("rewrite range over map %s to the collect-then-sort idiom", xText),
+		Edits:   []TextEdit{{Pos: rng.Pos(), End: rng.Body.Lbrace + 1, NewText: header}},
+	}
+	if imp, need := addImportEdit(file, "slices"); need {
+		fix.Edits = append(fix.Edits, imp)
+	}
+	return fix
+}
+
+// renderOperand renders an identifier or dotted-identifier chain, the
+// only operand shapes the rewrite duplicates (re-evaluating them is free
+// of side effects).
+func renderOperand(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := renderOperand(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// mentionsText reports whether any identifier or selector chain in n
+// renders to text — the conservative "body references the map" test.
+func mentionsText(n ast.Node, text string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.Ident:
+			if m.Name == text {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if t, ok := renderOperand(m); ok && t == text {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// keyTypeText renders the map's key type for the generated []K slice, or
+// ok=false when the type is not an ordered non-float type nameable from
+// this file.
+func keyTypeText(p *Pass, file *ast.File, t types.Type) (string, bool) {
+	switch t := t.(type) {
+	case *types.Basic:
+		if orderedNonFloat(t) {
+			return t.Name(), true
+		}
+	case *types.Named:
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || !orderedNonFloat(b) {
+			return "", false
+		}
+		obj := t.Obj()
+		if obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Pkg() == p.Pkg.Types {
+			return obj.Name(), true
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != obj.Pkg().Path() {
+				continue
+			}
+			name := obj.Pkg().Name()
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name == "." || name == "_" {
+				return "", false
+			}
+			return name + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// orderedNonFloat reports whether b sorts deterministically with
+// slices.Sort: integers and strings (floats are excluded because NaN
+// keys would not round-trip).
+func orderedNonFloat(b *types.Basic) bool {
+	info := b.Info()
+	return info&types.IsOrdered != 0 && info&types.IsFloat == 0
+}
+
+// identNames collects every identifier name appearing in the file, the
+// safe superset for fresh-name generation.
+func identNames(file *ast.File) map[string]bool {
+	used := make(map[string]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	return used
+}
+
+// freshName returns base, or base2, base3, … — the first variant not in
+// used — and reserves it.
+func freshName(base string, used map[string]bool) string {
+	name := base
+	for i := 2; used[name]; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	used[name] = true
+	return name
+}

@@ -38,14 +38,86 @@ func GoodFiltered(m map[string]int) []string {
 	return keys
 }
 
-// GoodAnnotated carries an ordered directive with a justification.
+// GoodAnnotated folds values into an int — not a pure collect loop, so
+// only the justified directive keeps it quiet.
 func GoodAnnotated(m map[string]int) int {
 	n := 0
-	//simlint:ordered -- counting is commutative
+	//simlint:ordered -- integer summation is commutative; the total is order-independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodKeyless binds neither key nor value: every iteration runs an
+// identical body, so the loop is order-independent with no directive.
+func GoodKeyless(m map[string]int) int {
+	n := 0
 	for range m {
 		n++
 	}
 	return n
+}
+
+// sortKeys sorts its argument; the analyzer learns this summary.
+func sortKeys(ks []string) {
+	sort.Strings(ks)
+}
+
+// resort forwards to sortKeys: summaries must be transitive.
+func resort(ks []string) {
+	sortKeys(ks)
+}
+
+// GoodSortedInHelper sorts through a helper, not a direct sort call.
+func GoodSortedInHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	resort(keys)
+	return keys
+}
+
+// GoodSortedThenFiltered re-slices after sorting: order is preserved.
+func GoodSortedThenFiltered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 3 {
+		keys = keys[:3]
+	}
+	return keys
+}
+
+// BadResortedReuse collects again after the sort: the second batch is
+// appended in map order and never re-sorted, so only the second loop
+// must fire.
+func BadResortedReuse(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for k := range m { // want `range over map m: iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadSortedOnOnePath sorts in only one branch; the merge is not provably
+// sorted when the slice is finally used.
+func BadSortedOnOnePath(m map[string]int, b bool) []string {
+	var keys []string
+	for k := range m { // want `range over map m: iteration order is randomized`
+		keys = append(keys, k)
+	}
+	if b {
+		sort.Strings(keys)
+	}
+	return keys
 }
 
 // BadUnsorted collects keys but never sorts them.

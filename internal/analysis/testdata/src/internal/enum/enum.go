@@ -1,0 +1,56 @@
+// Package enum is the enumexhaustive analyzer's golden input.
+package enum
+
+// Color is an iota-declared enum with a cardinality sentinel.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+	numColors // sentinel: excluded from membership by naming convention
+)
+
+// Cyan aliases Blue; coverage is counted by value, so Blue covers both.
+const Cyan = Blue
+
+// Bad misses Blue and declares no default.
+func Bad(c Color) string {
+	switch c { // want `switch over Color does not cover Blue`
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+// GoodDefault opts out of exhaustiveness with an explicit default.
+func GoodDefault(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// GoodFull covers every member (Cyan via Blue's value).
+func GoodFull(c Color) string {
+	switch c {
+	case Red, Green:
+		return "warm"
+	case Blue:
+		return "cool"
+	}
+	return "?"
+}
+
+// GoodNonConstant compares against a runtime value: no coverage claim.
+func GoodNonConstant(c, other Color) bool {
+	switch c {
+	case other:
+		return true
+	}
+	return false
+}

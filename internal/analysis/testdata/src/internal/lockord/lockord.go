@@ -1,0 +1,86 @@
+// Package lockord is the lockorder analyzer's golden input.
+package lockord
+
+import "sync"
+
+// Counter's n is guarded: Add writes it under mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add establishes the guard relation by writing n with mu held.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Bad reads the guarded field with the guard provably not held.
+func (c *Counter) Bad() int {
+	return c.n // want `Counter.n is guarded by lockord.Counter.mu`
+}
+
+// readLocked follows the *Locked convention: mu is assumed held at entry.
+func (c *Counter) readLocked() int {
+	return c.n
+}
+
+// Snapshot uses the convention helper correctly.
+func (c *Counter) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readLocked()
+}
+
+// Cond may or may not hold the lock at the read: Maybe is not provable,
+// so no finding.
+func (c *Counter) Cond(locked bool) int {
+	if locked {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n
+}
+
+// Double acquires the same mutex class twice on one path.
+func (c *Counter) Double() {
+	c.mu.Lock()
+	c.mu.Lock() // want `acquiring lockord.Counter.mu while it is already held`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// A and B form a lock-order cycle through AB and BA.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// AB takes A.mu then B.mu.
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle: lockord.A.mu -> lockord.B.mu -> lockord.A.mu`
+	b.mu.Unlock()
+}
+
+// BA takes B.mu then A.mu — the opposite order.
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// lockB is a helper that acquires B.mu; edges must flow through calls.
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// ABIndirect records the same A->B edge through the helper summary.
+func ABIndirect(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockB(b)
+}

@@ -1,0 +1,24 @@
+// Package staledir is the staledirective analyzer's golden input.
+package staledir
+
+import "sort"
+
+// Fine already follows the collect-then-sort idiom; the directive above
+// its loop suppresses nothing and must be reported (and is -fix removable).
+func Fine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//simlint:ordered -- obsolete: the loop below is already the sorted idiom // want `stale //simlint:ordered directive`
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//simlint:allow errdiscipline -- obsolete: nothing here panics anymore // want `stale //simlint:allow directive`
+func quiet() int {
+	return 1
+}
+
+// used keeps quiet referenced.
+var _ = quiet

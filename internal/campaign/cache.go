@@ -135,6 +135,8 @@ func (c *Cache) Get(key string) (Entry, bool) {
 		return Entry{}, false // injected read error: a plain miss
 	case faultinject.KindCorrupt:
 		data = c.Faults.Mutate(k, data)
+	default:
+		// KindNone and kinds scheduled for other sites: read proceeds.
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
@@ -186,6 +188,8 @@ func (c *Cache) Put(job Job, res sim.Result) error {
 		// Persist damaged bytes through the normal atomic path: the torn
 		// entry must be caught by the read-side checksum, not by luck.
 		data = c.Faults.Mutate(k, data)
+	default:
+		// KindNone and kinds scheduled for other sites: write proceeds.
 	}
 	path := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

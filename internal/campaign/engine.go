@@ -172,6 +172,8 @@ func runAttempt(job Job, cfg sim.Config, faults *faultinject.Injector) (res sim.
 	case faultinject.KindPanic:
 		//simlint:allow errdiscipline -- deliberate injected fault: the chaos suite proves this panic is recovered and quarantined, never escapes the pool
 		panic(fmt.Sprintf("faultinject: injected worker panic for %s", job))
+	default:
+		// KindNone and kinds scheduled for other sites: run normally.
 	}
 	return sim.RunWorkload(job.Workload, cfg)
 }

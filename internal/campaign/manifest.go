@@ -178,8 +178,9 @@ func (m *Manifest) Reconcile(grid string, jobs []Job) {
 	}
 }
 
-// record builds and stores the in-memory row for one outcome, returning it.
-func (m *Manifest) record(r JobResult) *JobRecord {
+// recordLocked builds and stores the in-memory row for one outcome,
+// returning it. Caller holds m.mu.
+func (m *Manifest) recordLocked(r JobResult) *JobRecord {
 	rc := r.Job.Config.Resolved()
 	rec := &JobRecord{
 		Workload: r.Job.Workload,
@@ -209,7 +210,7 @@ func (m *Manifest) record(r JobResult) *JobRecord {
 func (m *Manifest) Record(r JobResult) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.record(r)
+	m.recordLocked(r)
 }
 
 // Append updates one job's outcome and appends it to the journal — a
@@ -217,7 +218,7 @@ func (m *Manifest) Record(r JobResult) {
 func (m *Manifest) Append(r JobResult) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rec := m.record(r)
+	rec := m.recordLocked(r)
 	if m.path == "" {
 		return nil // in-memory manifest (no cache dir)
 	}
@@ -233,6 +234,8 @@ func (m *Manifest) Append(r JobResult) error {
 		// Simulated mid-write kill: half a line, no newline. Replay must
 		// drop it and rerun only this cell.
 		line = line[:len(line)/2]
+	default:
+		// KindNone and kinds scheduled for other sites: append proceeds.
 	}
 	if err := m.appendLocked(line); err != nil {
 		return fmt.Errorf("campaign: manifest append: %w", err)
@@ -391,7 +394,6 @@ func (m *Manifest) Records() []*JobRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]*JobRecord, 0, len(m.Jobs))
-	//simlint:ordered -- collect-then-sort: sortRecords orders the rows below
 	for _, rec := range m.Jobs {
 		out = append(out, rec)
 	}
@@ -404,7 +406,6 @@ func (m *Manifest) byStatus(status string) []*JobRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var out []*JobRecord
-	//simlint:ordered -- collect-then-sort: sortRecords orders the rows below
 	for _, rec := range m.Jobs {
 		if rec.Status == status {
 			out = append(out, rec)

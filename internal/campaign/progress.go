@@ -70,15 +70,15 @@ func (r *Reporter) JobDone(jr JobResult) {
 	if r.quarantined > 0 {
 		line += fmt.Sprintf(" (%d QUARANTINED)", r.quarantined)
 	}
-	if eta := r.eta(); eta > 0 {
+	if eta := r.etaLocked(); eta > 0 {
 		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
 	}
 	fmt.Fprintln(r.W, line)
 }
 
-// eta extrapolates the remaining wall clock from uncached completions.
+// etaLocked extrapolates the remaining wall clock from uncached completions.
 // Caller holds r.mu.
-func (r *Reporter) eta() time.Duration {
+func (r *Reporter) etaLocked() time.Duration {
 	simulated := r.done - r.cached
 	if simulated <= 0 || r.done >= r.total {
 		return 0

@@ -116,6 +116,9 @@ func (m *Machine) commit() {
 			if e.mispredicted {
 				m.Stats.MispredictsCommitted++
 			}
+		default:
+			// Other ops have no commit-time side effects beyond the
+			// bookkeeping above.
 		case isa.OpFence:
 			m.fenceSeqs = removeSeq(m.fenceSeqs, e.seq)
 		case isa.OpHalt:

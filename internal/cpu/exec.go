@@ -286,6 +286,9 @@ func (m *Machine) tryIssueLoad(idx int32) bool {
 		if spec {
 			opts.SafeGetS = true
 		}
+	default:
+		// Remaining modes issue a plain GetS; delay-based modes were
+		// already handled before reaching the issue path.
 	}
 	seq := lq.Seq
 	txn, ok := m.hier.Load(m.cfg.CoreID, lq.Line, m.now, m.waiterID(seq), opts, func(t *memsys.Txn) {
@@ -430,6 +433,10 @@ func (m *Machine) resolveCtrl(slot int32) {
 	case isa.OpRet:
 		actualNext = arch.Addr(e.src1Val)
 		actualTaken = true
+	default:
+		// resolveCtrl is enqueued only for OpBranch/OpRet (see rename);
+		// any other op reaching here is a dispatch bug and would resolve
+		// to target 0, forcing a visible squash rather than silent state.
 	}
 	m.ctrlSeqs = removeSeq(m.ctrlSeqs, e.seq)
 

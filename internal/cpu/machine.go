@@ -616,6 +616,9 @@ func (m *Machine) dispatch() {
 		case isa.OpBranch, isa.OpRet:
 			e.isCtrl = true
 			m.ctrlSeqs = append(m.ctrlSeqs, seq)
+		default:
+			// Other ops occupy only their ROB slot: no LQ/SQ/fence
+			// resources to reserve at rename.
 		}
 
 		if e.pendSrcs == 0 {
@@ -672,8 +675,11 @@ func srcNeeds(in isa.Inst) (rs1, rs2 bool) {
 		return true, true
 	case isa.OpRet:
 		return true, false // link register value
+	default:
+		// OpNop, OpJump, OpCall, OpFence, OpRdCycle, OpHalt read no
+		// register sources.
+		return false, false
 	}
-	return false, false
 }
 
 // destReg returns the destination register (0 = none; writes to r0 are
@@ -684,6 +690,8 @@ func destReg(in isa.Inst) isa.Reg {
 		return in.Rd
 	case isa.OpCall:
 		return isa.Reg(31) // link register
+	default:
+		// Every other op writes no destination register.
+		return 0
 	}
-	return 0
 }

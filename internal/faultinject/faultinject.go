@@ -284,8 +284,11 @@ func (in *Injector) Mutate(kind Kind, data []byte) []byte {
 		return out
 	case KindTruncate:
 		return append([]byte(nil), data[:len(data)/2]...)
+	default:
+		// KindNone, KindError, KindPanic, KindStall carry no payload
+		// mutation: the data passes through untouched.
+		return data
 	}
-	return data
 }
 
 // Events returns a copy of the faults that fired so far across the whole
