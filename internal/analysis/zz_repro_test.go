@@ -1,0 +1,26 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestDupImportRepro(t *testing.T) {
+	mod, err := Load("/tmp/fixrepro")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings := NewRunner(mod).Run(Analyzers(), nil)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	fixes, err := ApplyFixes(mod, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	for _, ff := range fixes {
+		fmt.Printf("=== %s (applied=%d skipped=%d)\n%s\n", ff.Name, ff.Applied, ff.Skipped, ff.Fixed)
+		os.WriteFile(ff.Name, ff.Fixed, 0o644)
+	}
+}
