@@ -1,0 +1,62 @@
+// Command benchrun records a perf baseline: it executes the repository's
+// core-loop benchmarks (the substrate microbenchmarks in bench_test.go)
+// through `go test -bench` and writes the parsed numbers — ops/sec,
+// ns/op, allocs/op, plus any ReportMetric extras — as a JSON baseline
+// file future PRs can diff against.
+//
+//	benchrun -out BENCH_PR6.json
+//	benchrun -bench 'BenchmarkSimulatorThroughput$' -benchtime 1s -out -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchrun"
+)
+
+// defaultPattern selects the substrate microbenchmarks — the hot loops
+// every simulation runs through — rather than the table/figure
+// regeneration benchmarks, whose runtimes are experiment-shaped.
+const defaultPattern = "^(BenchmarkCacheLookup|BenchmarkCEASEREncrypt|BenchmarkPredictor|BenchmarkSimulatorThroughput)$"
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "package directory containing bench_test.go")
+		pattern   = flag.String("bench", defaultPattern, "benchmark selection regexp")
+		benchTime = flag.String("benchtime", "0.3s", "per-benchmark measuring time")
+		out       = flag.String("out", "BENCH_PR6.json", `baseline file ("-" = stdout)`)
+	)
+	flag.Parse()
+
+	opts := benchrun.Options{Dir: *dir, Pattern: *pattern, BenchTime: *benchTime}
+	fmt.Fprintf(os.Stderr, "benchrun: running %s (benchtime %s)\n", *pattern, *benchTime)
+	results, err := benchrun.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Fprintf(os.Stderr, "benchrun: %-32s %12.0f ops/s %10.0f allocs/op\n", r.Name, r.OpsPerSec, r.AllocsPerOp)
+	}
+
+	baseline := benchrun.NewBaseline(opts, results, time.Now())
+	data, err := json.MarshalIndent(baseline, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchrun: wrote", *out)
+}

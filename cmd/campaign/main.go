@@ -87,6 +87,9 @@ fsck flags:
   -cache dir          cache directory (default ".campaign")
   -prune              delete corrupt entries and orphaned temp files
                       (pruned cells simply re-simulate on the next run)
+  -deep               cross-check manifest journal rows against cache
+                      entries in both directions (done rows without a
+                      backing entry; entries without a journal row)
 
 policies: %s
 `, strings.Join(campaign.GridNames(), "|"), runtime.GOMAXPROCS(0), policyNames())
@@ -220,9 +223,10 @@ func cmdFsck(args []string) error {
 	fs := flag.NewFlagSet("campaign fsck", flag.ExitOnError)
 	cacheDir := fs.String("cache", ".campaign", "cache directory")
 	prune := fs.Bool("prune", false, "delete corrupt entries and orphaned temp files")
+	deep := fs.Bool("deep", false, "cross-check manifest journal rows against cache entries")
 	fs.Parse(args)
 
-	rep, err := campaign.Fsck(*cacheDir, *prune)
+	rep, err := campaign.FsckWith(*cacheDir, campaign.FsckOptions{Prune: *prune, Deep: *deep})
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,7 @@ var AnalyzerCacheKey = &Analyzer{
 }
 
 func runCacheKey(p *Pass) {
+	decls := packageFuncDecls(p)
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -42,7 +43,8 @@ func runCacheKey(p *Pass) {
 				continue
 			}
 			cfg := named.Underlying().(*types.Struct)
-			zeroed := assignedConfigFields(p, fd.Body, cfg)
+			zeroed := make(map[string]bool)
+			collectZeroed(p, fd, cfg, decls, map[*ast.FuncDecl]bool{}, zeroed)
 			for i := 0; i < cfg.NumFields(); i++ {
 				field := cfg.Field(i)
 				if !field.Exported() {
@@ -80,6 +82,60 @@ func configParam(sig *types.Signature, self *types.Package) *types.Named {
 		}
 	}
 	return nil
+}
+
+// packageFuncDecls indexes the package's function declarations by their
+// type object, so the zeroing walk can follow calls into helpers.
+func packageFuncDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// collectZeroed accumulates the Config fields zeroed in fd's body and,
+// transitively, in the bodies of same-package functions fd calls — so a
+// Key that delegates to a helper (campaign.Key → cellKey) still gets
+// credit for the helper's zeroing. The visited set bounds recursion.
+func collectZeroed(p *Pass, fd *ast.FuncDecl, cfg *types.Struct, decls map[*types.Func]*ast.FuncDecl, visited map[*ast.FuncDecl]bool, out map[string]bool) {
+	if visited[fd] {
+		return
+	}
+	visited[fd] = true
+	//simlint:ordered -- set union into out; insertion order cannot change the result
+	for name := range assignedConfigFields(p, fd.Body, cfg) {
+		out[name] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if fn, ok := p.Pkg.Info.Uses[id].(*types.Func); ok {
+			if callee, ok := decls[fn]; ok {
+				collectZeroed(p, callee, cfg, decls, visited, out)
+			}
+		}
+		return true
+	})
 }
 
 // assignedConfigFields collects the Config field names assigned (zeroed)

@@ -1,0 +1,194 @@
+// Package benchrun executes the repository's core-loop benchmarks via the
+// go tool and records the numbers as a machine-readable baseline file, so
+// successive PRs can compare against a committed perf trajectory instead
+// of anecdotes. The parser understands the standard `go test -bench`
+// output format, including -benchmem columns and ReportMetric extras.
+package benchrun
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metric is one named per-op measurement of a benchmark line: the
+// standard ns/op, B/op, allocs/op columns plus anything the benchmark
+// added with b.ReportMetric (e.g. sim-instructions/s).
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (BenchmarkCacheLookup-8 → BenchmarkCacheLookup).
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"` // the stripped -N suffix (0 if absent)
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// OpsPerSec is derived from NsPerOp — the "how fast is the core loop"
+	// number baselines are compared on.
+	OpsPerSec   float64  `json:"ops_per_sec"`
+	BytesPerOp  float64  `json:"bytes_per_op"`
+	AllocsPerOp float64  `json:"allocs_per_op"`
+	Extra       []Metric `json:"extra,omitempty"` // ReportMetric columns, sorted by name
+}
+
+// Baseline is the file format of BENCH_PR*.json: environment identity
+// plus one Result per benchmark, in output order.
+type Baseline struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Pattern   string   `json:"pattern"`
+	BenchTime string   `json:"bench_time"`
+	Date      string   `json:"date"` // RFC 3339, recording time
+	Results   []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark lines in
+// order. Non-benchmark lines (the goos/pkg preamble, PASS, ok) are
+// skipped; a line that starts like a benchmark but does not parse is an
+// error, so column drift cannot silently produce an empty baseline.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchrun: reading output: %w", err)
+	}
+	return out, nil
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkCacheLookup-8   37735849   31.86 ns/op   0 B/op   0 allocs/op
+//	BenchmarkSimulatorThroughput-8   37   31.2 ms/op   2052622 sim-instructions/s
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("benchrun: malformed benchmark line %q", line)
+	}
+	var res Result
+	res.Name = fields[0]
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = procs
+			res.Name = res.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchrun: bad iteration count in %q: %w", line, err)
+	}
+	res.Iterations = iters
+
+	// The rest are (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchrun: bad metric value in %q: %w", line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "us/op", "µs/op":
+			res.NsPerOp = v * 1e3
+		case "ms/op":
+			res.NsPerOp = v * 1e6
+		case "s/op":
+			res.NsPerOp = v * 1e9
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			res.Extra = append(res.Extra, Metric{Name: unit, Value: v})
+		}
+	}
+	if res.NsPerOp > 0 {
+		res.OpsPerSec = 1e9 / res.NsPerOp
+	}
+	sort.Slice(res.Extra, func(i, j int) bool { return res.Extra[i].Name < res.Extra[j].Name })
+	return res, nil
+}
+
+// Options configures a benchmark run.
+type Options struct {
+	Dir       string        // package directory to run in (default ".")
+	Pattern   string        // -bench regexp (required)
+	BenchTime string        // -benchtime (default "0.3s": baselines, not publication numbers)
+	Timeout   time.Duration // overall go-test timeout (default 10m)
+}
+
+// Run executes `go test -run ^$ -bench <pattern> -benchmem` in the target
+// directory and parses the results. The benchmark binary's own output is
+// the source of truth; stderr is folded into the error on failure.
+func Run(opts Options) ([]Result, error) {
+	if opts.Pattern == "" {
+		return nil, fmt.Errorf("benchrun: empty -bench pattern")
+	}
+	if opts.Dir == "" {
+		opts.Dir = "."
+	}
+	if opts.BenchTime == "" {
+		opts.BenchTime = "0.3s"
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 10 * time.Minute
+	}
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", opts.Pattern, "-benchmem", "-benchtime", opts.BenchTime,
+		"-timeout", opts.Timeout.String(), ".")
+	cmd.Dir = opts.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = strings.TrimSpace(stdout.String())
+		}
+		return nil, fmt.Errorf("benchrun: go test -bench failed: %v: %s", err, msg)
+	}
+	results, err := Parse(&stdout)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("benchrun: pattern %q matched no benchmarks", opts.Pattern)
+	}
+	return results, nil
+}
+
+// NewBaseline stamps results with the recording environment.
+func NewBaseline(opts Options, results []Result, now time.Time) Baseline {
+	return Baseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Pattern:   opts.Pattern,
+		BenchTime: opts.BenchTime,
+		Date:      now.UTC().Format(time.RFC3339),
+		Results:   results,
+	}
+}

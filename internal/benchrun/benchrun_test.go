@@ -1,0 +1,91 @@
+package benchrun
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.0GHz
+BenchmarkCacheLookup-8     	37735849	        31.86 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCEASEREncrypt-8   	12345678	        97.20 ns/op	      16 B/op	       1 allocs/op
+BenchmarkPredictor-8       	 9000000	       133.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimulatorThroughput-8	      37	  31200000 ns/op	2052622 sim-instructions/s	  524288 B/op	    4096 allocs/op
+PASS
+ok  	repro	8.123s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkCacheLookup" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 37735849 || r.NsPerOp != 31.86 {
+		t.Fatalf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.OpsPerSec < 31e6 || r.OpsPerSec > 32e6 {
+		t.Fatalf("ops/sec = %v, want ~31.4M", r.OpsPerSec)
+	}
+	if results[1].BytesPerOp != 16 || results[1].AllocsPerOp != 1 {
+		t.Fatalf("benchmem columns lost: %+v", results[1])
+	}
+	st := results[3]
+	if len(st.Extra) != 1 || st.Extra[0].Name != "sim-instructions/s" || st.Extra[0].Value != 2052622 {
+		t.Fatalf("ReportMetric column lost: %+v", st.Extra)
+	}
+	if st.BytesPerOp != 524288 || st.AllocsPerOp != 4096 {
+		t.Fatalf("columns after a custom metric lost: %+v", st)
+	}
+}
+
+func TestParseUnitConversions(t *testing.T) {
+	out := `BenchmarkA-4 100 2.5 ms/op
+BenchmarkB 200 1.5 us/op
+`
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].NsPerOp != 2.5e6 {
+		t.Fatalf("ms/op not converted: %v", results[0].NsPerOp)
+	}
+	if results[1].NsPerOp != 1500 || results[1].Procs != 0 || results[1].Name != "BenchmarkB" {
+		t.Fatalf("us/op or suffixless name mishandled: %+v", results[1])
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 notanumber 10 ns/op\n")); err == nil {
+		t.Fatal("malformed iteration count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 100 nan..x ns/op\n")); err == nil {
+		t.Fatal("malformed metric value accepted")
+	}
+}
+
+func TestNewBaselineStampsEnvironment(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	b := NewBaseline(Options{Pattern: "X", BenchTime: "1s"}, []Result{{Name: "BenchmarkX"}}, now)
+	if b.GoVersion == "" || b.GOOS == "" || b.GOARCH == "" {
+		t.Fatalf("environment not stamped: %+v", b)
+	}
+	if b.Date != "2026-08-07T12:00:00Z" {
+		t.Fatalf("date = %q", b.Date)
+	}
+}
+
+func TestRunRejectsEmptyPattern(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+}

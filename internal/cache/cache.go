@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/xrand"
@@ -91,7 +92,7 @@ type Config struct {
 	// PartitionWays, if > 0, confines each partition (SMT thread) to a
 	// contiguous group of PartitionWays ways (NoMo-style, Section 3.6).
 	PartitionWays int
-	// Seed seeds the random replacement stream.
+	// Seed keys the stateless random-replacement victim hash.
 	Seed uint64
 }
 
@@ -124,7 +125,6 @@ type Cache struct {
 	stamp []uint64 // LRU stamps, parallel to lines
 	tick  uint64
 	idx   Indexer
-	rng   *xrand.Rand
 
 	Stats Stats
 }
@@ -161,7 +161,6 @@ func New(cfg Config) *Cache {
 		lines: make([]Line, sets*cfg.Ways),
 		stamp: make([]uint64, sets*cfg.Ways),
 		idx:   idx,
-		rng:   xrand.New(cfg.Seed ^ 0xCAC4E),
 	}
 }
 
@@ -245,7 +244,19 @@ func (c *Cache) Victim(l arch.LineAddr, part int) (set, way int) {
 	}
 	switch c.cfg.Repl {
 	case ReplRandom:
-		return set, lo + c.rng.Intn(hi-lo)
+		// Stateless pseudo-random selection: the victim is a pure hash
+		// of (seed, set, incoming line). An earlier version advanced a
+		// per-cache PRNG stream on each full-set eviction, but the
+		// stream position itself was then microarchitectural state a
+		// squash could not undo: a transient install into a full set
+		// consumed a draw where an install into a set with a free way
+		// did not, so a secret-dependent transient access desynchronized
+		// every later victim choice — a replacement-state residue the
+		// specfuzz differential oracle flags under CleanupSpec. A pure
+		// function of the access leaves no state to leak, which is the
+		// paper's actual claim for random replacement (Section 3.2).
+		h := xrand.Hash64(c.cfg.Seed ^ 0xCAC4E ^ uint64(l)<<20 ^ uint64(set))
+		return set, lo + int(h%uint64(hi-lo))
 	default: // LRU
 		best, bestStamp := lo, c.stamp[set*c.ways+lo]
 		for w := lo + 1; w < hi; w++ {
@@ -383,6 +394,23 @@ func (c *Cache) SnapshotTags() map[arch.LineAddr]bool {
 		}
 	}
 	return m
+}
+
+// SnapshotLines returns a copy of every valid line, sorted by tag — the
+// deterministic per-level half of the attacker-observer cache-state probe
+// (see memsys.Hierarchy.Snapshot). Sorting by tag rather than by (set,
+// way) makes the snapshot insensitive to way placement, which an attacker
+// cannot observe directly; what a line's presence, coherence state, and
+// dirtiness reveal, the differential oracle in internal/specfuzz compares.
+func (c *Cache) SnapshotLines() []Line {
+	var out []Line
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			out = append(out, c.lines[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
 }
 
 // OccupiedWays returns how many valid ways set holds.

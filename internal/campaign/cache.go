@@ -45,7 +45,11 @@ type Entry struct {
 	Policy   sim.Policy `json:"policy"`
 	Variant  string     `json:"variant,omitempty"`
 	Seed     uint64     `json:"seed"`
-	Result   sim.Result `json:"result"`
+	// Kind is the cell kind ("" = plain simulation); Aux is a custom
+	// kind's opaque result payload. Both are covered by the checksum.
+	Kind   CellKind        `json:"kind,omitempty"`
+	Aux    json.RawMessage `json:"aux,omitempty"`
+	Result sim.Result      `json:"result"`
 	// Summary is the cell's headline derived metrics, duplicated out of
 	// Result so `jq .summary` and the simscope inspector can read a cell
 	// without knowing the Result schema. The full counter snapshot lives
@@ -157,8 +161,9 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	return e, true
 }
 
-// Put stores the result of job under its key.
-func (c *Cache) Put(job Job, res sim.Result) error {
+// Put stores the result of job under its key. aux is a custom cell kind's
+// opaque payload (nil for plain simulation cells).
+func (c *Cache) Put(job Job, res sim.Result, aux json.RawMessage) error {
 	key, err := job.Key()
 	if err != nil {
 		return err
@@ -171,8 +176,12 @@ func (c *Cache) Put(job Job, res sim.Result) error {
 		Policy:   rc.Policy,
 		Variant:  job.Variant,
 		Seed:     rc.Seed,
+		Kind:     job.Kind,
+		Aux:      aux,
 		Result:   res,
-		Summary:  Summarize(res),
+	}
+	if job.Kind == KindSim {
+		e.Summary = Summarize(res)
 	}
 	if e.Sum, err = checksum(e); err != nil {
 		return err

@@ -55,22 +55,45 @@ import (
 // gained the keyed WatchdogWindow parameter.
 const SchemaVersion = 4
 
-// Job is one simulation cell: a workload run under a fully specified
-// configuration. Variant is a human-readable label for the config override
-// the job came from (empty for the grid's base config); it is reporting
-// metadata only and does not contribute to the job's identity.
+// CellKind names a job's execution kind. The zero value ("") is a plain
+// workload simulation, executed by sim.RunWorkload; any other kind is
+// dispatched to the CellFunc registered for it on the engine (see
+// Engine.RegisterCell). internal/specfuzz registers KindSpecFuzz cells this
+// way: a fuzz cell is a first-class campaign cell — keyed, cached,
+// journaled, retried, and resumable exactly like a simulation cell.
+type CellKind string
+
+// KindSim is the default cell kind: one sim.RunWorkload invocation.
+const KindSim CellKind = ""
+
+// Job is one campaign cell: by default a workload run under a fully
+// specified configuration, or — when Kind is set — a registered custom
+// cell whose kind-specific parameters travel in Cell. Variant is a
+// human-readable label for the config override the job came from (empty
+// for the grid's base config); it is reporting metadata only and does not
+// contribute to the job's identity.
 type Job struct {
 	Workload string     `json:"workload"`
 	Variant  string     `json:"variant,omitempty"`
 	Config   sim.Config `json:"config"`
+	// Kind selects the cell's executor ("" = workload simulation). It is
+	// part of the cell's content-addressed identity.
+	Kind CellKind `json:"kind,omitempty"`
+	// Cell is the kind-specific cell payload (e.g. a serialized fuzz
+	// gadget spec). It is hashed into the cache key byte-for-byte, so two
+	// cells with different payloads never share a cache slot.
+	Cell json.RawMessage `json:"cell,omitempty"`
 }
 
 // Key returns the job's content-addressed identity.
-func (j Job) Key() (string, error) { return Key(j.Workload, j.Config) }
+func (j Job) Key() (string, error) { return cellKey(j.Kind, j.Workload, j.Config, j.Cell) }
 
 // String renders the job for progress lines and error messages.
 func (j Job) String() string {
 	s := j.Workload + "/" + string(j.Config.Resolved().Policy)
+	if j.Kind != KindSim {
+		s = string(j.Kind) + ":" + s
+	}
 	if j.Variant != "" {
 		s += "/" + j.Variant
 	}
@@ -85,11 +108,15 @@ func (j Job) String() string {
 // the simulation participates in the hash with a fixed field order; the
 // observability hooks (Trace, Metrics, SampleEvery) never change outcomes
 // and are excluded — both via their json:"-" tags and by zeroing below, so
-// a future tag regression cannot silently fork cache keys.
+// a future tag regression cannot silently fork cache keys. Kind and Cell
+// are omitted when empty, so every pre-existing simulation cell keeps the
+// key it had before cell kinds existed.
 type keyRecord struct {
-	Schema   int        `json:"schema"`
-	Workload string     `json:"workload"`
-	Config   sim.Config `json:"config"`
+	Schema   int             `json:"schema"`
+	Workload string          `json:"workload"`
+	Config   sim.Config      `json:"config"`
+	Kind     CellKind        `json:"kind,omitempty"`
+	Cell     json.RawMessage `json:"cell,omitempty"`
 }
 
 // Key returns the content-addressed cache key for running workload wl
@@ -100,16 +127,23 @@ type keyRecord struct {
 // configurations that differ in any simulated parameter (seed, policy,
 // randomization overrides, window size, ...) never collide.
 func Key(wl string, cfg sim.Config) (string, error) {
+	return cellKey(KindSim, wl, cfg, nil)
+}
+
+// cellKey is Key generalized over cell kinds: the kind and its payload are
+// hashed alongside the workload and resolved config.
+func cellKey(kind CellKind, wl string, cfg sim.Config, cell json.RawMessage) (string, error) {
 	rc := cfg.Resolved()
 	rc.Trace = nil // observation-only; does not affect results
 	rc.Metrics = nil
 	rc.SampleEvery = 0
 	rc.Faults = nil
-	blob, err := json.Marshal(keyRecord{Schema: SchemaVersion, Workload: wl, Config: rc})
+	blob, err := json.Marshal(keyRecord{Schema: SchemaVersion, Workload: wl, Config: rc, Kind: kind, Cell: cell})
 	if err != nil {
-		// sim.Config is a plain struct of scalars and pointers today, so
-		// this is unreachable — but a future field could make it real,
-		// and a bad cell must surface as a failed job, not a dead pool.
+		// sim.Config is a plain struct of scalars and pointers today (and
+		// Cell is pre-encoded JSON), so this is unreachable — but a future
+		// field could make it real, and a bad cell must surface as a
+		// failed job, not a dead pool.
 		return "", fmt.Errorf("campaign: canonicalizing config for %s: %w", wl, err)
 	}
 	sum := sha256.Sum256(blob)
@@ -118,10 +152,14 @@ func Key(wl string, cfg sim.Config) (string, error) {
 
 // JobResult is the outcome of one job execution.
 type JobResult struct {
-	Job      Job
-	Key      string
-	Result   sim.Result
-	Err      error
+	Job    Job
+	Key    string
+	Result sim.Result
+	// Aux is a custom cell kind's opaque result payload (nil for plain
+	// simulation cells); it round-trips through the memo and disk cache
+	// next to Result.
+	Aux json.RawMessage
+	Err error
 	Cached   bool // served from the disk cache or in-memory memo
 	Attempts int  // 0 for cache hits
 	Elapsed  time.Duration

@@ -105,7 +105,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	if _, ok := c.Get(key); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	if err := c.Put(job, res); err != nil {
+	if err := c.Put(job, res, nil); err != nil {
 		t.Fatal(err)
 	}
 	e, ok := c.Get(key)
@@ -140,7 +140,7 @@ func TestCacheRoundTrip(t *testing.T) {
 
 	// Valid JSON whose content was tampered with must fail the checksum —
 	// a silently flipped measurement is worse than a miss.
-	if err := c.Put(job, res); err != nil {
+	if err := c.Put(job, res, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(c.path(key))
@@ -161,7 +161,7 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Fatalf("tamper warning = %q", last)
 	}
 	// Restore a clean entry for the Entries scan below.
-	if err := c.Put(job, res); err != nil {
+	if err := c.Put(job, res, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -177,7 +177,7 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	job2 := Job{Workload: "gcc", Config: testCfg(sim.NonSecure, 1)}
-	if err := c.Put(job2, res); err != nil {
+	if err := c.Put(job2, res, nil); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := c.Entries()

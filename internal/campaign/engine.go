@@ -62,8 +62,9 @@ type Engine struct {
 	// picks up a job never changes the faults it sees.
 	Faults *faultinject.Injector
 
-	mu   sync.Mutex
-	memo map[string]sim.Result
+	mu    sync.Mutex
+	memo  map[string]memoVal
+	cells map[CellKind]CellFunc
 
 	sims atomic.Int64
 
@@ -78,6 +79,21 @@ type Engine struct {
 // engine into cache-bypass mode.
 const cacheFailThreshold = 3
 
+// memoVal is one memoized cell outcome: the simulation measurement plus a
+// custom cell kind's opaque payload.
+type memoVal struct {
+	res sim.Result
+	aux json.RawMessage
+}
+
+// CellFunc executes one custom-kind cell. It must be deterministic in the
+// job's identity fields (Workload, Config, Kind, Cell) — the engine caches
+// its outcome under the job's content-addressed key, and a later run (or a
+// parallel worker) may serve the cached copy instead of calling it again.
+// The sim.Result half feeds the shared reporting surfaces (manifest rows,
+// status tables); kind-specific output goes in the returned JSON payload.
+type CellFunc func(job Job) (sim.Result, json.RawMessage, error)
+
 // NewEngine returns a memory-only engine with default pool sizing; callers
 // attach Cache / Manifest / Reporter as needed.
 func NewEngine() *Engine {
@@ -85,8 +101,29 @@ func NewEngine() *Engine {
 		Retries:        1,
 		RetryMaxCycles: 50_000_000,
 		Backoff:        50 * time.Millisecond,
-		memo:           make(map[string]sim.Result),
+		memo:           make(map[string]memoVal),
 	}
+}
+
+// RegisterCell installs the executor for a custom cell kind. Registering
+// KindSim or a kind twice is a programmer error surfaced at job execution
+// time, not here: jobs of an unregistered kind fail with a descriptive
+// error rather than panicking a worker.
+func (e *Engine) RegisterCell(kind CellKind, fn CellFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cells == nil {
+		e.cells = make(map[CellKind]CellFunc)
+	}
+	e.cells[kind] = fn
+}
+
+// cellFunc looks up the registered executor for kind.
+func (e *Engine) cellFunc(kind CellKind) (CellFunc, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn, ok := e.cells[kind]
+	return fn, ok
 }
 
 // Simulations returns how many actual simulator invocations the engine
@@ -105,32 +142,33 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (e *Engine) lookup(key string) (sim.Result, bool) {
+func (e *Engine) lookup(key string) (memoVal, bool) {
 	e.mu.Lock()
-	res, ok := e.memo[key]
+	val, ok := e.memo[key]
 	e.mu.Unlock()
 	if ok {
-		return res, true
+		return val, true
 	}
 	if e.Cache != nil && !e.cacheDown.Load() {
 		if entry, ok := e.Cache.Get(key); ok {
+			val = memoVal{res: entry.Result, aux: entry.Aux}
 			e.mu.Lock()
-			e.memo[key] = entry.Result
+			e.memo[key] = val
 			e.mu.Unlock()
-			return entry.Result, true
+			return val, true
 		}
 	}
-	return sim.Result{}, false
+	return memoVal{}, false
 }
 
-func (e *Engine) store(job Job, key string, res sim.Result) error {
+func (e *Engine) store(job Job, key string, val memoVal) error {
 	e.mu.Lock()
-	e.memo[key] = res
+	e.memo[key] = val
 	e.mu.Unlock()
 	if e.Cache == nil || e.cacheDown.Load() {
 		return nil
 	}
-	err := e.Cache.Put(job, res)
+	err := e.Cache.Put(job, val.res, val.aux)
 	if err == nil {
 		e.cacheFails.Store(0)
 		return nil
@@ -156,10 +194,11 @@ type PanicError struct {
 // Error renders the panic value (the stack lives in the quarantine dump).
 func (e *PanicError) Error() string { return "worker panic: " + e.Value }
 
-// runAttempt executes one simulation attempt behind a panic isolation
-// boundary: a panicking worker comes back as a *PanicError instead of
-// tearing down the whole pool.
-func runAttempt(job Job, cfg sim.Config, faults *faultinject.Injector) (res sim.Result, err error) {
+// runAttempt executes one cell attempt behind a panic isolation boundary:
+// a panicking worker comes back as a *PanicError instead of tearing down
+// the whole pool. Custom cell kinds dispatch to their registered CellFunc;
+// the default kind is one sim.RunWorkload invocation.
+func (e *Engine) runAttempt(job Job, cfg sim.Config, faults *faultinject.Injector) (val memoVal, err error) {
 	defer func() {
 		//simlint:allow errdiscipline -- panic isolation boundary: a worker panic becomes a quarantined JobResult with a diagnostic dump, the pool survives
 		if r := recover(); r != nil {
@@ -168,14 +207,25 @@ func runAttempt(job Job, cfg sim.Config, faults *faultinject.Injector) (res sim.
 	}()
 	switch faults.Check(faultinject.SiteWorkerExec) {
 	case faultinject.KindError:
-		return sim.Result{}, fmt.Errorf("campaign: worker executing %s: %w", job, faultinject.ErrInjected)
+		return memoVal{}, fmt.Errorf("campaign: worker executing %s: %w", job, faultinject.ErrInjected)
 	case faultinject.KindPanic:
 		//simlint:allow errdiscipline -- deliberate injected fault: the chaos suite proves this panic is recovered and quarantined, never escapes the pool
 		panic(fmt.Sprintf("faultinject: injected worker panic for %s", job))
 	default:
 		// KindNone and kinds scheduled for other sites: run normally.
 	}
-	return sim.RunWorkload(job.Workload, cfg)
+	if job.Kind != KindSim {
+		fn, ok := e.cellFunc(job.Kind)
+		if !ok {
+			return memoVal{}, fmt.Errorf("campaign: no executor registered for cell kind %q (job %s)", job.Kind, job)
+		}
+		run := job
+		run.Config = cfg
+		res, aux, err := fn(run)
+		return memoVal{res: res, aux: aux}, err
+	}
+	res, err := sim.RunWorkload(job.Workload, cfg)
+	return memoVal{res: res}, err
 }
 
 // backoff returns the delay before retry attempt n (1-based) of the job
@@ -284,12 +334,12 @@ func (e *Engine) runJob(job Job) JobResult {
 	if kerr != nil {
 		return JobResult{Job: job, Err: kerr, Elapsed: time.Since(start)}
 	}
-	if res, ok := e.lookup(key); ok {
-		return JobResult{Job: job, Key: key, Result: res, Cached: true, Elapsed: time.Since(start)}
+	if val, ok := e.lookup(key); ok {
+		return JobResult{Job: job, Key: key, Result: val.res, Aux: val.aux, Cached: true, Elapsed: time.Since(start)}
 	}
 	faults := e.Faults.Child(key)
 	var (
-		res      sim.Result
+		val      memoVal
 		err      error
 		attempts int
 	)
@@ -321,7 +371,7 @@ func (e *Engine) runJob(job Job) JobResult {
 		}
 		attempts++
 		e.sims.Add(1)
-		res, err = runAttempt(job, cfg, faults)
+		val, err = e.runAttempt(job, cfg, faults)
 		if err == nil {
 			break
 		}
@@ -342,8 +392,9 @@ func (e *Engine) runJob(job Job) JobResult {
 		jr.Err = err
 		return jr
 	}
-	jr.Result = res
-	if serr := e.store(job, key, res); serr != nil {
+	jr.Result = val.res
+	jr.Aux = val.aux
+	if serr := e.store(job, key, val); serr != nil {
 		// A result that simulated fine but failed to persist is still a
 		// usable result; surface the cache problem without failing the job.
 		jr.Err = nil

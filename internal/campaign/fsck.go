@@ -30,13 +30,28 @@ type FsckReport struct {
 	ManifestRecords int
 	ManifestDropped int // torn journal lines
 
+	// Deep cross-check results (Fsck with Deep set): the journal and the
+	// entry store describe the same campaign from two sides, and a crash
+	// between cache.Put and Manifest.Append (or a lost Put) lets them
+	// drift. Both directions are recoverable — the engine re-simulates a
+	// missing entry and re-journals an unjournaled one — but drift means
+	// resume estimates and `campaign status` counts lie, so -deep makes
+	// it visible.
+	Deep        bool
+	MissingData []Flaw // done journal rows whose cache entry is absent/unusable
+	Unjournaled []Flaw // verified cache entries with no journal row
+
 	Pruned []string // removed by -prune
 }
 
 // Clean reports whether the scan found nothing to repair. A missing or
 // rebuilt manifest is not dirt — the engine reconstructs it — but corrupt
-// or orphaned entry files are.
-func (r *FsckReport) Clean() bool { return len(r.Corrupt) == 0 && len(r.Orphans) == 0 }
+// or orphaned entry files are, and so is journal/store drift found by a
+// deep scan.
+func (r *FsckReport) Clean() bool {
+	return len(r.Corrupt) == 0 && len(r.Orphans) == 0 &&
+		len(r.MissingData) == 0 && len(r.Unjournaled) == 0
+}
 
 // String renders the operator-facing summary `campaign fsck` prints.
 func (r *FsckReport) String() string {
@@ -60,6 +75,12 @@ func (r *FsckReport) String() string {
 	for _, f := range r.Orphans {
 		fmt.Fprintf(&b, "\n  orphan:  %s (%s)", f.Path, f.Reason)
 	}
+	for _, f := range r.MissingData {
+		fmt.Fprintf(&b, "\n  missing: %s (%s)", f.Path, f.Reason)
+	}
+	for _, f := range r.Unjournaled {
+		fmt.Fprintf(&b, "\n  unjournaled: %s (%s)", f.Path, f.Reason)
+	}
 	for _, p := range r.Pruned {
 		fmt.Fprintf(&b, "\n  pruned:  %s", p)
 	}
@@ -73,6 +94,18 @@ func isTempFile(name string) bool {
 	return strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-")
 }
 
+// FsckOptions selects what a cache scan checks and repairs.
+type FsckOptions struct {
+	// Prune deletes corrupt entries and orphans, removes unjournaled
+	// entries, and resets done journal rows with no backing entry to
+	// pending — every repair makes the affected cell simply re-simulate.
+	Prune bool
+	// Deep cross-checks manifest journal rows against the entry store in
+	// both directions (requires a readable manifest; silently skipped
+	// otherwise, since a rebuilt manifest has nothing to disagree with).
+	Deep bool
+}
+
 // Fsck scans a cache directory for corruption the way reads would detect
 // it — unparseable entries, checksum mismatches, entries filed under the
 // wrong key or shard, temp-file orphans, torn manifest lines — and
@@ -80,7 +113,13 @@ func isTempFile(name string) bool {
 // are deleted (they will simply re-simulate); valid entries from other
 // schema versions are reported but never pruned.
 func Fsck(dir string, prune bool) (*FsckReport, error) {
-	rep := &FsckReport{Dir: dir}
+	return FsckWith(dir, FsckOptions{Prune: prune})
+}
+
+// FsckWith is Fsck with the full option set (see FsckOptions).
+func FsckWith(dir string, opts FsckOptions) (*FsckReport, error) {
+	rep := &FsckReport{Dir: dir, Deep: opts.Deep}
+	verified := make(map[string]string) // entry key -> path, current schema only
 	if _, err := os.Stat(dir); err != nil {
 		return nil, fmt.Errorf("campaign: fsck: %w", err)
 	}
@@ -128,6 +167,7 @@ func Fsck(dir string, prune bool) (*FsckReport, error) {
 			return nil
 		}
 		rep.OK++
+		verified[e.Key] = path
 		return nil
 	})
 	if err != nil {
@@ -136,14 +176,42 @@ func Fsck(dir string, prune bool) (*FsckReport, error) {
 	sortFlaws(rep.Corrupt)
 	sortFlaws(rep.Orphans)
 
-	if m, ok := LoadManifest(dir); ok {
+	m, manifestOK := LoadManifest(dir)
+	if manifestOK {
 		rep.ManifestOK = true
 		rep.ManifestRecords = len(m.Jobs)
 		rep.ManifestDropped = m.Dropped()
 	}
 
-	if prune {
-		for _, list := range [][]Flaw{rep.Corrupt, rep.Orphans} {
+	var missingKeys []string // done rows to reset on prune
+	if opts.Deep && manifestOK {
+		for _, key := range sortedKeys(m.Jobs) {
+			rec := m.Jobs[key]
+			if rec.Status != StatusDone {
+				continue
+			}
+			if _, ok := verified[key]; !ok {
+				rep.MissingData = append(rep.MissingData, Flaw{
+					Path:   key,
+					Reason: fmt.Sprintf("journal says %s/%s is done but no verified cache entry backs it", rec.Workload, rec.Policy),
+				})
+				missingKeys = append(missingKeys, key)
+			}
+		}
+		for _, key := range sortedKeys(verified) {
+			if _, ok := m.Jobs[key]; !ok {
+				rep.Unjournaled = append(rep.Unjournaled, Flaw{
+					Path:   verified[key],
+					Reason: fmt.Sprintf("cache entry %s has no journal row", key),
+				})
+			}
+		}
+		sortFlaws(rep.MissingData)
+		sortFlaws(rep.Unjournaled)
+	}
+
+	if opts.Prune {
+		for _, list := range [][]Flaw{rep.Corrupt, rep.Orphans, rep.Unjournaled} {
 			for _, f := range list {
 				if err := os.Remove(f.Path); err != nil {
 					return rep, fmt.Errorf("campaign: fsck prune: %w", err)
@@ -151,9 +219,32 @@ func Fsck(dir string, prune bool) (*FsckReport, error) {
 				rep.Pruned = append(rep.Pruned, f.Path)
 			}
 		}
+		if len(missingKeys) > 0 {
+			// A done row with no backing entry lies to resume estimates;
+			// demote it to pending so the cell honestly re-simulates.
+			for _, key := range missingKeys {
+				m.Jobs[key].Status = StatusPending
+				m.Jobs[key].Cached = false
+				rep.Pruned = append(rep.Pruned, "journal:"+key)
+			}
+			if err := m.Save(); err != nil {
+				return rep, fmt.Errorf("campaign: fsck prune: %w", err)
+			}
+		}
 		sort.Strings(rep.Pruned)
 	}
 	return rep, nil
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// flaw listings.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func sortFlaws(flaws []Flaw) {

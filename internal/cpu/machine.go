@@ -313,6 +313,17 @@ func New(cfg Config, prog *isa.Program, hier *memsys.Hierarchy, pol Policy) *Mac
 // Hierarchy returns the machine's memory system (for policies).
 func (m *Machine) Hierarchy() *memsys.Hierarchy { return m.hier }
 
+// SnapshotHierarchy drains in-flight memory transactions and captures the
+// hierarchy's observable tag-array state — the attacker-observer probe the
+// specfuzz differential oracle compares across secret values. Draining
+// first makes the capture deterministic: fills of squashed loads either
+// land (non-secure) or have been dropped (CleanupSpec) before the tags are
+// read, never "still in flight".
+func (m *Machine) SnapshotHierarchy() memsys.Snapshot {
+	m.DrainMemory()
+	return m.hier.Snapshot()
+}
+
 // Memory returns the functional data memory.
 func (m *Machine) Memory() *isa.Memory { return m.mem }
 

@@ -1,0 +1,117 @@
+package memsys
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cache"
+)
+
+// SnapshotLine is one resident line in a hierarchy observer snapshot,
+// identified by the level it lives in. It captures exactly the tag-array
+// facts a cache attacker can learn through timing: whether a line is
+// present, at which level, in what coherence state, and whether it is
+// dirty. Data values are deliberately absent — they are not observable
+// through the cache side channel this probe models.
+type SnapshotLine struct {
+	Level string        `json:"level"` // "L1D0", "L1D1", ..., "L2"
+	Line  arch.LineAddr `json:"line"`
+	State arch.CohState `json:"state"`
+	Dirty bool          `json:"dirty,omitempty"`
+	Spec  bool          `json:"spec,omitempty"` // speculative-install mark still set
+}
+
+// key orders snapshot lines (level, then address) for the merge in Diff.
+func (l SnapshotLine) key() string { return fmt.Sprintf("%s/%016x", l.Level, uint64(l.Line)) }
+
+// describe renders the observable state compactly for diff records.
+func (l SnapshotLine) describe() string {
+	s := l.State.String()
+	if l.Dirty {
+		s += "+dirty"
+	}
+	if l.Spec {
+		s += "+spec"
+	}
+	return s
+}
+
+// Snapshot is a full deterministic capture of the hierarchy's tag-array
+// state: every resident L1-D and L2 line, sorted by (level, address). Two
+// snapshots of hierarchies that executed attacker-indistinguishable
+// programs must be equal; any difference is a secret-dependent cache-state
+// channel. internal/specfuzz's differential oracle is built on Diff.
+type Snapshot struct {
+	Lines []SnapshotLine `json:"lines"`
+}
+
+// Snapshot captures the current tag-array state of every L1-D cache and
+// the shared L2. The instruction caches are excluded: the programs the
+// observer model compares are byte-identical, so their fetch streams
+// cannot carry a secret.
+func (h *Hierarchy) Snapshot() Snapshot {
+	var snap Snapshot
+	add := func(level string, lines []cache.Line) {
+		for _, ln := range lines {
+			snap.Lines = append(snap.Lines, SnapshotLine{
+				Level: level,
+				Line:  ln.Tag,
+				State: ln.State,
+				Dirty: ln.Dirty,
+				Spec:  ln.SpecInstalled,
+			})
+		}
+	}
+	for core := 0; core < h.cfg.NumCores; core++ {
+		add(fmt.Sprintf("L1D%d", core), h.l1[core].SnapshotLines())
+	}
+	add("L2", h.l2.SnapshotLines())
+	sort.Slice(snap.Lines, func(i, j int) bool { return snap.Lines[i].key() < snap.Lines[j].key() })
+	return snap
+}
+
+// LineDiff is one observable difference between two snapshots: a line
+// resident in one hierarchy but not the other, or resident in both with
+// different observable state.
+type LineDiff struct {
+	Level string        `json:"level"`
+	Line  arch.LineAddr `json:"line"`
+	// A and B describe the line's observable state in each snapshot
+	// ("absent" when not resident).
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// String renders the diff for reports and minimizer logs.
+func (d LineDiff) String() string {
+	return fmt.Sprintf("%s line %#x: %s vs %s", d.Level, uint64(d.Line), d.A, d.B)
+}
+
+// Diff returns every observable difference between two snapshots, sorted
+// by (level, address). An empty result means the two hierarchies are
+// indistinguishable to a cache-state attacker at this granularity.
+func (s Snapshot) Diff(o Snapshot) []LineDiff {
+	var out []LineDiff
+	i, j := 0, 0
+	for i < len(s.Lines) || j < len(o.Lines) {
+		switch {
+		case j >= len(o.Lines) || (i < len(s.Lines) && s.Lines[i].key() < o.Lines[j].key()):
+			a := s.Lines[i]
+			out = append(out, LineDiff{Level: a.Level, Line: a.Line, A: a.describe(), B: "absent"})
+			i++
+		case i >= len(s.Lines) || o.Lines[j].key() < s.Lines[i].key():
+			b := o.Lines[j]
+			out = append(out, LineDiff{Level: b.Level, Line: b.Line, A: "absent", B: b.describe()})
+			j++
+		default:
+			a, b := s.Lines[i], o.Lines[j]
+			if da, db := a.describe(), b.describe(); da != db {
+				out = append(out, LineDiff{Level: a.Level, Line: a.Line, A: da, B: db})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}

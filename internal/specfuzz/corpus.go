@@ -1,0 +1,205 @@
+package specfuzz
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/sim"
+)
+
+// Expectation records what a corpus entry's differential pair is expected
+// to report under one policy — the contract a replay re-checks.
+type Expectation struct {
+	Policy string `json:"policy"`
+	Leak   bool   `json:"leak"`
+	// Channels are the expected leak channels (order-insensitive subset
+	// check is deliberate: a replay must reproduce at least the recorded
+	// channels).
+	Channels []string `json:"channels,omitempty"`
+}
+
+// CorpusEntry is one line of the JSONL corpus format: a gadget spec, the
+// hierarchy seed its verdicts were produced with, and the per-policy
+// expectations. An entry is self-contained — replaying it needs nothing
+// but this line and the simulator.
+type CorpusEntry struct {
+	Spec GadgetSpec `json:"spec"`
+	Seed uint64     `json:"seed"`
+	// Expect holds per-policy expectations in recorded order; policies
+	// absent here are simply not checked on replay.
+	Expect []Expectation `json:"expect,omitempty"`
+}
+
+// WriteCorpus streams entries as JSONL. The bytes are deterministic for a
+// given entry slice (encoding/json field order is declaration order), so
+// two runs that found the same gadgets produce byte-identical corpora.
+func WriteCorpus(w io.Writer, entries []CorpusEntry) error {
+	bw := bufio.NewWriter(w)
+	for i, e := range entries {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("specfuzz: encoding corpus entry %d (%s): %w", i, e.Spec.ID, err)
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus parses a JSONL corpus. Blank lines are tolerated; anything
+// else that fails to parse is an error with its line number.
+func ReadCorpus(r io.Reader) ([]CorpusEntry, error) {
+	var entries []CorpusEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e CorpusEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("specfuzz: corpus line %d: %w", line, err)
+		}
+		if err := e.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("specfuzz: corpus line %d: %w", line, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("specfuzz: reading corpus: %w", err)
+	}
+	return entries, nil
+}
+
+// SaveCorpus writes entries to path.
+func SaveCorpus(path string, entries []CorpusEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCorpus(f, entries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCorpus reads a corpus file.
+func LoadCorpus(path string) ([]CorpusEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCorpus(f)
+}
+
+// CorpusFromReport extracts the replayable corpus of a campaign: every
+// effective gadget (leaks on the unprotected baseline), carrying the full
+// per-policy verdict row as expectations.
+func CorpusFromReport(rep Report, policies []sim.Policy) []CorpusEntry {
+	var out []CorpusEntry
+	for _, g := range rep.Gadgets {
+		if !g.Effective(policies) {
+			continue
+		}
+		e := CorpusEntry{Spec: g.Spec, Seed: rep.Seed}
+		for _, v := range g.Verdicts {
+			if v == nil {
+				continue
+			}
+			e.Expect = append(e.Expect, Expectation{Policy: v.Policy, Leak: v.Leak, Channels: v.Channels})
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ReplayPolicy aggregates one policy's replay column.
+type ReplayPolicy struct {
+	Policy  string `json:"policy"`
+	Entries int    `json:"entries"`
+	Leaks   int    `json:"leaks"`
+}
+
+// ReplayReport is the outcome of re-running a corpus.
+type ReplayReport struct {
+	Policies []ReplayPolicy `json:"policies"`
+	// Mismatches lists entries whose replay deviated from their recorded
+	// expectation — the corpus contract violations.
+	Mismatches []string `json:"mismatches,omitempty"`
+	// Failures lists replays that errored.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Leaks returns the observed leak count for a policy (-1 when the policy
+// was not replayed).
+func (r ReplayReport) Leaks(policy string) int {
+	for _, p := range r.Policies {
+		if p.Policy == policy {
+			return p.Leaks
+		}
+	}
+	return -1
+}
+
+// Replay re-runs every corpus entry under the given policies and checks
+// the recorded expectations. Each entry uses its own recorded hierarchy
+// seed, so a corpus replays identically regardless of what campaign loaded
+// it.
+func Replay(entries []CorpusEntry, policies []sim.Policy) ReplayReport {
+	var rep ReplayReport
+	cols := make([]ReplayPolicy, len(policies))
+	for i, p := range policies {
+		cols[i].Policy = string(p)
+	}
+	for _, e := range entries {
+		expect := make(map[string]Expectation, len(e.Expect))
+		for _, x := range e.Expect {
+			expect[x.Policy] = x
+		}
+		for pi, p := range policies {
+			v, err := RunPair(e.Spec, sim.Config{Policy: p, Seed: e.Seed})
+			if err != nil {
+				rep.Failures = append(rep.Failures, fmt.Sprintf("%s/%s: %v", e.Spec.ID, p, err))
+				continue
+			}
+			cols[pi].Entries++
+			if v.Leak {
+				cols[pi].Leaks++
+			}
+			x, ok := expect[string(p)]
+			if !ok {
+				continue
+			}
+			if v.Leak != x.Leak {
+				rep.Mismatches = append(rep.Mismatches,
+					fmt.Sprintf("%s/%s: expected leak=%v, observed leak=%v", e.Spec.ID, p, x.Leak, v.Leak))
+				continue
+			}
+			observed := make(map[string]bool, len(v.Channels))
+			for _, ch := range v.Channels {
+				observed[ch] = true
+			}
+			for _, ch := range x.Channels {
+				if !observed[ch] {
+					rep.Mismatches = append(rep.Mismatches,
+						fmt.Sprintf("%s/%s: expected %s channel, not observed", e.Spec.ID, p, ch))
+				}
+			}
+		}
+	}
+	rep.Policies = cols
+	return rep
+}

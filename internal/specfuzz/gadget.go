@@ -1,0 +1,350 @@
+package specfuzz
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Memory layout of generated gadget programs. Regions are spaced so no two
+// ever share a cache line; the planted secret word at addrSecret is the
+// ONLY datum that differs between the two programs of a differential pair.
+const (
+	addrBounds  = arch.Addr(0x1000) // bounds value the victim checks against
+	addrBounds2 = arch.Addr(0x1100) // second bounds (WindowDoubleBranch)
+	addrBPtr    = arch.Addr(0x1200) // pointer to bounds (WindowPointerChase)
+	addrArr1    = arch.Addr(0x2000) // in-bounds victim array
+	addrSecret  = arch.Addr(0x3000) // the out-of-bounds secret word
+	addrTable2  = arch.Addr(0x8000) // identity table (PatternTwoLevel)
+	addrRecv    = arch.Addr(0x10_0000)
+	addrRes     = arch.Addr(0x20_0000) // per-slot probe latencies
+	addrNoise   = arch.Addr(0x30_0000) // EmitNoise working set
+	addrDelay   = arch.Addr(0x40_0000) // cold post-attack delay line
+	addrPrime   = arch.Addr(0x50_0000) // Prime+Probe conflict lines
+
+	// boundsEntries is arr1's length and the planted bounds value; train
+	// indices stay below it, maliciousX is far above it.
+	boundsEntries = 16
+	// maliciousX indexes arr1 so arr1[maliciousX] is the secret word:
+	// addrArr1 + maliciousX*8 == addrSecret.
+	maliciousX = int64((addrSecret - addrArr1) / 8)
+	// maxEntries bounds the receiver slot count (and with it the secret
+	// range and two-level table size).
+	maxEntries = 64
+	// recvSpan is the receiver region size; Entries*Stride must fit.
+	recvSpan = int64(addrRes - addrRecv)
+	// noiseSpan is the EmitNoise working-set size.
+	noiseSpan = int64(16 << 10)
+
+	// defaultL1Sets/Ways mirror the paper's Table 4 L1 geometry
+	// (64KB, 8-way, 64B lines → 128 sets); Geometry carries the live
+	// values, these constants only steer spec generation.
+	defaultL1Sets = 128
+	defaultL1Ways = 8
+)
+
+// BuildMode selects what the gadget program does after the attack.
+type BuildMode int
+
+const (
+	// ModeTiming appends the receiver probe phase: the program times
+	// every receiver slot (or primed line) and stores the latencies to
+	// addrRes, where the oracle reads them back.
+	ModeTiming BuildMode = iota
+	// ModeState halts right after the attack (and optional delay load):
+	// the oracle snapshots the hierarchy tag state instead, so the
+	// observation is not perturbed by probe traffic.
+	ModeState
+
+	numBuildModes
+)
+
+func (m BuildMode) String() string {
+	switch m {
+	case ModeTiming:
+		return "timing"
+	case ModeState:
+		return "state"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Geometry is the L1 shape the Prime+Probe receiver needs.
+type Geometry struct {
+	L1Sets int
+	L1Ways int
+}
+
+// GeometryOf extracts the L1 geometry from a hierarchy configuration.
+func GeometryOf(hcfg memsys.Config) Geometry {
+	ways := hcfg.L1.Ways
+	if ways <= 0 {
+		ways = defaultL1Ways
+	}
+	sets := hcfg.L1.SizeBytes / arch.LineBytes / ways
+	if sets <= 0 {
+		sets = defaultL1Sets
+	}
+	return Geometry{L1Sets: sets, L1Ways: ways}
+}
+
+// ProbeSlots is the length of the probe-latency vector a timing-mode run
+// produces: one entry per receiver slot (Flush+Reload) or per primed line
+// (Prime+Probe).
+func ProbeSlots(s GadgetSpec, g Geometry) int {
+	if s.Receiver == RecvPrimeProbe {
+		return g.L1Ways
+	}
+	return s.Entries
+}
+
+// primeLines returns g.L1Ways addresses in the prime region that map to
+// the same L1 set as target (mod-indexed L1, as in the simulator).
+func primeLines(target arch.Addr, g Geometry) []arch.Addr {
+	set := int(uint64(target.Line()) % uint64(g.L1Sets))
+	out := make([]arch.Addr, 0, g.L1Ways)
+	for j := 0; j < g.L1Ways; j++ {
+		lineNo := uint64(set) + uint64(j+1)*uint64(g.L1Sets)
+		out = append(out, addrPrime+arch.Addr(lineNo*arch.LineBytes))
+	}
+	return out
+}
+
+// log2 of a positive power of two.
+func log2(v int64) int64 {
+	n := int64(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// BuildProgram assembles the gadget program for one planted secret. The
+// instruction stream and every initialized word except the secret itself
+// are pure functions of (spec, mode, geometry) — the differential pair is
+// architecturally indistinguishable, so any microarchitectural difference
+// the oracle observes between the two runs is secret-dependent by
+// construction.
+//
+// Program shape (single attack round):
+//
+//	init data → receiver prep (flush slots / prime set) → noise blocks →
+//	(secret warm-up) → train victim ×N → (flush bounds) → (fence) →
+//	victim(maliciousX) → (cold delay load) → probe phase (timing mode)
+//	                                        └ halt        (state mode)
+func BuildProgram(s GadgetSpec, secret int, mode BuildMode, g Geometry) (*isa.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if mode < 0 || mode >= numBuildModes {
+		return nil, fmt.Errorf("specfuzz: %s: invalid build mode %d", s.ID, int(mode))
+	}
+	if secret < 0 || secret >= s.Entries {
+		return nil, fmt.Errorf("specfuzz: %s: secret %d outside [0,%d)", s.ID, secret, s.Entries)
+	}
+	strideShift := log2(s.Stride)
+
+	b := isa.NewBuilder(fmt.Sprintf("specfuzz-%s-%s", s.ID, mode))
+
+	// Data image.
+	b.InitData(addrBounds, boundsEntries)
+	for i := int64(0); i < boundsEntries; i++ {
+		b.InitData(addrArr1+arch.Addr(i*8), uint64(i))
+	}
+	b.InitData(addrSecret, uint64(secret))
+	switch s.Window {
+	case WindowPointerChase:
+		b.InitData(addrBPtr, uint64(addrBounds))
+	case WindowDoubleBranch:
+		b.InitData(addrBounds2, boundsEntries)
+	default:
+		// WindowBoundsCheck needs no extra data.
+	}
+	if s.Pattern == PatternTwoLevel {
+		for i := int64(0); i < maxEntries; i++ {
+			b.InitData(addrTable2+arch.Addr(i*8), uint64(i))
+		}
+	}
+
+	// Receiver preparation.
+	var primed []arch.Addr
+	switch s.Receiver {
+	case RecvFlushReload:
+		b.Li(1, int64(addrRecv))
+		b.Li(2, int64(s.Entries))
+		b.Label("flushrecv")
+		b.CLFlush(1, 0)
+		b.AddI(1, 1, s.Stride)
+		b.AddI(2, 2, -1)
+		b.Br(isa.CondNE, 2, 0, "flushrecv")
+	case RecvPrimeProbe:
+		target := addrRecv + arch.Addr(int64(encSlot(s, s.SecretA))*s.Stride)
+		primed = primeLines(target, g)
+		for _, a := range primed {
+			b.Li(2, int64(a))
+			b.Load(4, 2, 0)
+		}
+	default:
+		return nil, fmt.Errorf("specfuzz: %s: invalid receiver kind %d", s.ID, int(s.Receiver))
+	}
+	b.Fence()
+
+	// Workload-shaped background pressure.
+	if s.NoiseBlocks > 0 {
+		workload.EmitNoise(b, xrand.New(s.Seed), s.NoiseBlocks, addrNoise, noiseSpan, 16)
+	}
+
+	// Keep the secret's line resident (victim data in active use); when
+	// skipped, the transient secret load itself misses and the whole
+	// transmission rides on in-flight fills.
+	if s.SecretResident {
+		b.Li(3, int64(addrSecret))
+		b.Load(4, 3, 0)
+	}
+
+	// Train the bounds check with in-bounds x counting down to 1.
+	b.Li(27, int64(s.TrainRounds))
+	b.Label("train")
+	b.Add(1, 27, 0)
+	b.Call("victim")
+	b.AddI(27, 27, -1)
+	b.Br(isa.CondNE, 27, 0, "train")
+
+	// Flush the bounds line(s) so the mispredicted check resolves slowly.
+	if s.FlushBounds {
+		b.Li(3, int64(addrBounds))
+		b.CLFlush(3, 0)
+		switch s.Window {
+		case WindowPointerChase:
+			b.Li(3, int64(addrBPtr))
+			b.CLFlush(3, 0)
+		case WindowDoubleBranch:
+			b.Li(3, int64(addrBounds2))
+			b.CLFlush(3, 0)
+		default:
+			// Single bounds line already flushed.
+		}
+	}
+	if s.FenceBeforeAttack {
+		b.Fence()
+	}
+
+	// Attack call.
+	b.Li(1, maliciousX)
+	b.Call("victim")
+
+	// Give a squash-surviving in-flight fill time to land before the
+	// observation (the unprotected baseline lets it land; CleanupSpec
+	// drops it).
+	if s.DelayAfterAttack {
+		b.Li(3, int64(addrDelay))
+		b.Load(4, 3, 0)
+		b.Fence()
+	}
+
+	if mode == ModeTiming {
+		emitProbe(b, s, strideShift, primed)
+	}
+	b.Halt()
+
+	emitVictim(b, s, strideShift)
+	return b.Build(), nil
+}
+
+// emitProbe appends the receiver probe: each slot is timed with a
+// fence/rdcycle bracket (the fence keeps the timed load from issuing
+// before the first timer read; the second read serializes at ROB head) and
+// the latency is stored to addrRes[k].
+func emitProbe(b *isa.Builder, s GadgetSpec, strideShift int64, primed []arch.Addr) {
+	if s.Receiver == RecvPrimeProbe {
+		for j, a := range primed {
+			b.Li(6, int64(a))
+			b.Fence()
+			b.RdCycle(8)
+			b.Load(9, 6, 0)
+			b.RdCycle(11)
+			b.Alu(isa.AluSub, 12, 11, 8)
+			b.Li(14, int64(addrRes)+int64(j)*8)
+			b.Store(14, 0, 12)
+		}
+		return
+	}
+	b.Li(26, 0)
+	b.Li(25, int64(s.Entries))
+	b.Li(24, int64(addrRecv))
+	b.Li(23, int64(addrRes))
+	b.Label("probe")
+	b.AluI(isa.AluShl, 5, 26, strideShift)
+	b.Add(6, 24, 5)
+	b.Fence()
+	b.RdCycle(8)
+	b.Load(9, 6, 0)
+	b.RdCycle(11)
+	b.Alu(isa.AluSub, 12, 11, 8)
+	b.AluI(isa.AluShl, 13, 26, 3)
+	b.Add(14, 23, 13)
+	b.Store(14, 0, 12)
+	b.AddI(26, 26, 1)
+	b.Br(isa.CondLTU, 26, 25, "probe")
+}
+
+// emitVictim appends the victim function: bounds check(s) per the window
+// kind guarding a transient transmission per the pattern kind.
+//
+//	victim(x in r1): if in-bounds { transmit(arr1[x]) }
+func emitVictim(b *isa.Builder, s GadgetSpec, strideShift int64) {
+	b.Label("victim")
+	switch s.Window {
+	case WindowBoundsCheck:
+		b.Li(21, int64(addrBounds))
+		b.Load(22, 21, 0)
+		b.Br(isa.CondGEU, 1, 22, "vout")
+	case WindowPointerChase:
+		b.Li(21, int64(addrBPtr))
+		b.Load(21, 21, 0) // p = *bptr (first miss when flushed)
+		b.Load(22, 21, 0) // bounds = *p (dependent second miss)
+		b.Br(isa.CondGEU, 1, 22, "vout")
+	case WindowDoubleBranch:
+		b.Li(21, int64(addrBounds))
+		b.Load(22, 21, 0)
+		b.Br(isa.CondGEU, 1, 22, "vout")
+		b.Li(21, int64(addrBounds2))
+		b.Load(22, 21, 0)
+		b.Br(isa.CondGEU, 1, 22, "vout")
+	default:
+		// Validate rejects unknown kinds before emission.
+	}
+
+	// Transient path: read arr1[x] (the secret when x == maliciousX) and
+	// encode it into a receiver address.
+	b.AluI(isa.AluShl, 23, 1, 3)
+	b.Li(24, int64(addrArr1))
+	b.Add(23, 23, 24)
+	b.Load(23, 23, 0) // arr1[x] — the secret on the transient path
+	switch s.Pattern {
+	case PatternIndex:
+		// recv[value*stride] directly.
+	case PatternTwoLevel:
+		b.AluI(isa.AluShl, 22, 23, 3)
+		b.Li(24, int64(addrTable2))
+		b.Add(22, 22, 24)
+		b.Load(23, 22, 0) // table[value] — a second secret-dependent line
+	case PatternBit:
+		b.AluI(isa.AluShr, 23, 23, int64(s.Bit))
+		b.AluI(isa.AluAnd, 23, 23, 1)
+	default:
+		// Validate rejects unknown kinds before emission.
+	}
+	b.AluI(isa.AluShl, 23, 23, strideShift)
+	b.Li(24, int64(addrRecv))
+	b.Add(23, 23, 24)
+	b.Load(23, 23, 0) // the transmission
+	b.Label("vout")
+	b.Ret()
+}

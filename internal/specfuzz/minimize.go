@@ -1,0 +1,135 @@
+package specfuzz
+
+import (
+	"fmt"
+
+	"repro/sim"
+)
+
+// maxMinimizeTrials bounds the oracle invocations one minimization may
+// spend; the candidate list is small, so the greedy loop reaches its
+// fixpoint far earlier in practice.
+const maxMinimizeTrials = 64
+
+// MinimizeResult describes one minimization: the original spec, the
+// reduced reproducer, and how much work the search spent.
+type MinimizeResult struct {
+	Policy   string     `json:"policy"`
+	Original GadgetSpec `json:"original"`
+	Reduced  GadgetSpec `json:"reduced"`
+	// Steps is how many reductions were accepted; Trials is how many
+	// oracle pairs were run (including rejected candidates).
+	Steps  int `json:"steps"`
+	Trials int `json:"trials"`
+	// Verdict is the reduced gadget's verdict under the target policy.
+	Verdict Verdict `json:"verdict"`
+}
+
+// candidates proposes simpler variants of s, most aggressive first. Each
+// candidate changes exactly one axis toward its simplest value; the greedy
+// loop composes accepted changes across rounds. Proposals that would
+// violate the spec invariants are skipped rather than repaired, so a
+// candidate is always a strictly structurally simpler, valid spec.
+func candidates(s GadgetSpec) []GadgetSpec {
+	var out []GadgetSpec
+	propose := func(c GadgetSpec) {
+		if c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+	if s.NoiseBlocks > 0 {
+		c := s
+		c.NoiseBlocks = 0
+		propose(c)
+	}
+	if s.Window != WindowBoundsCheck {
+		c := s
+		c.Window = WindowBoundsCheck
+		propose(c)
+	}
+	if s.Pattern != PatternIndex {
+		c := s
+		c.Pattern = PatternIndex
+		c.Bit = 0
+		propose(c)
+	}
+	if s.Entries > 8 && s.SecretA < s.Entries/2 && s.SecretB < s.Entries/2 && s.Bit < log2int(s.Entries/2) {
+		c := s
+		c.Entries = s.Entries / 2
+		propose(c)
+	}
+	if s.TrainRounds > 3 {
+		c := s
+		c.TrainRounds = 3
+		propose(c)
+	}
+	for _, f := range []func(*GadgetSpec){
+		func(c *GadgetSpec) { c.FenceBeforeAttack = false },
+		func(c *GadgetSpec) { c.DelayAfterAttack = false },
+		func(c *GadgetSpec) { c.SecretResident = false },
+		func(c *GadgetSpec) { c.FlushBounds = false },
+	} {
+		c := s
+		f(&c)
+		if c != s {
+			propose(c)
+		}
+	}
+	return out
+}
+
+// log2int is log2 of a positive power of two, as an int bound.
+func log2int(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Minimize greedily shrinks a leaking gadget to a reduced reproducer that
+// still leaks under cfg.Policy: in each round it tries the candidate
+// simplifications in deterministic order and restarts from the first one
+// whose differential pair still reports a leak, until no candidate
+// survives or the trial budget is spent. The input spec must itself leak
+// under cfg — minimizing a non-leaking gadget is an error, not a no-op.
+func Minimize(s GadgetSpec, cfg sim.Config) (MinimizeResult, error) {
+	res := MinimizeResult{Policy: string(cfg.Policy), Original: s}
+	v, err := RunPair(s, cfg)
+	if err != nil {
+		return res, err
+	}
+	res.Trials++
+	if !v.Leak {
+		return res, fmt.Errorf("specfuzz: gadget %s does not leak under %s; nothing to minimize", s.ID, cfg.Policy)
+	}
+
+	cur, curV := s, v
+	for res.Trials < maxMinimizeTrials {
+		advanced := false
+		for _, c := range candidates(cur) {
+			if res.Trials >= maxMinimizeTrials {
+				break
+			}
+			cv, cerr := RunPair(c, cfg)
+			res.Trials++
+			if cerr != nil {
+				// A candidate that fails to execute is just rejected;
+				// the current reproducer is still valid.
+				continue
+			}
+			if cv.Leak {
+				cur, curV = c, cv
+				res.Steps++
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	res.Reduced, res.Verdict = cur, curV
+	return res, nil
+}

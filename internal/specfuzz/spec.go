@@ -1,0 +1,382 @@
+// Package specfuzz is an automated countermeasure-fuzzing harness for
+// speculative-leak discovery, in the spirit of design-time fuzzers like
+// AMuLeT: it generates randomized Spectre-style gadget programs, runs each
+// one as a differential pair (secret=A vs secret=B) under every protection
+// policy, and flags any run where a secret-dependent timing or cache-state
+// difference survives the defense. The two programs of a pair are
+// byte-identical except for the planted secret word, so under the observer
+// model any microarchitectural difference between them is, by construction,
+// a leak of the secret.
+//
+// Gadgets are drawn from a four-dimensional space — transient-window shape
+// (how the mispredicted branch resolves), secret-dependent access pattern
+// (how the transient code encodes the secret into an address), flush/evict/
+// fence sequencing around the attack, and receiver placement (Flush+Reload
+// on a probe array vs Prime+Probe on an L1 set). Every point in the space
+// is a small deterministic program for the simulated core; fuzz cells run
+// as campaign cells, so they are keyed, cached, and resumable like any
+// other experiment in this repository.
+package specfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/xrand"
+)
+
+// WindowKind selects the transient-window shape: how the gadget's
+// mispredicted bounds check is built and how slowly it resolves.
+type WindowKind int
+
+const (
+	// WindowBoundsCheck is the classic Spectre-V1 window: a single
+	// bounds-check branch whose bounds value is (optionally) flushed so
+	// the branch resolves at memory latency.
+	WindowBoundsCheck WindowKind = iota
+	// WindowPointerChase loads the bounds through a pointer indirection;
+	// with both lines flushed, two dependent misses stack and the window
+	// is roughly twice as long.
+	WindowPointerChase
+	// WindowDoubleBranch guards the access with two stacked bounds
+	// checks; both must mispredict for the transient path to run.
+	WindowDoubleBranch
+
+	numWindowKinds
+)
+
+var windowNames = [numWindowKinds]string{
+	WindowBoundsCheck:  "bounds-check",
+	WindowPointerChase: "pointer-chase",
+	WindowDoubleBranch: "double-branch",
+}
+
+func (k WindowKind) String() string {
+	if k >= 0 && k < numWindowKinds {
+		return windowNames[k]
+	}
+	return fmt.Sprintf("window(%d)", int(k))
+}
+
+// PatternKind selects how the transient code turns the secret into a
+// receiver address.
+type PatternKind int
+
+const (
+	// PatternIndex is the classic full-value transmission:
+	// recv[secret*stride].
+	PatternIndex PatternKind = iota
+	// PatternTwoLevel adds a second table indirection,
+	// recv[table[secret]*stride] — the table access itself is a second,
+	// coarser secret-dependent line.
+	PatternTwoLevel
+	// PatternBit transmits a single secret bit:
+	// recv[((secret>>Bit)&1)*stride].
+	PatternBit
+
+	numPatternKinds
+)
+
+var patternNames = [numPatternKinds]string{
+	PatternIndex:    "index",
+	PatternTwoLevel: "two-level",
+	PatternBit:      "bit",
+}
+
+func (k PatternKind) String() string {
+	if k >= 0 && k < numPatternKinds {
+		return patternNames[k]
+	}
+	return fmt.Sprintf("pattern(%d)", int(k))
+}
+
+// ReceiverKind selects where the attacker looks for the transmission.
+type ReceiverKind int
+
+const (
+	// RecvFlushReload flushes the receiver array before the attack and
+	// times a reload of every slot afterwards: the installed slot is fast.
+	RecvFlushReload ReceiverKind = iota
+	// RecvPrimeProbe primes the L1 set that SecretA's receiver slot maps
+	// to and times the primed lines afterwards: a slow primed line means
+	// the transient install evicted it (the Section 2.4.1 observation
+	// that defeats naive invalidation without restore).
+	RecvPrimeProbe
+
+	numReceiverKinds
+)
+
+var receiverNames = [numReceiverKinds]string{
+	RecvFlushReload: "flush-reload",
+	RecvPrimeProbe:  "prime-probe",
+}
+
+func (k ReceiverKind) String() string {
+	if k >= 0 && k < numReceiverKinds {
+		return receiverNames[k]
+	}
+	return fmt.Sprintf("receiver(%d)", int(k))
+}
+
+// enumJSON marshals the three kind enums by name so corpus files and cache
+// keys stay readable and stable if constants are ever reordered.
+func enumJSON(name string) ([]byte, error) { return json.Marshal(name) }
+
+func enumFromJSON(data []byte, names []string, what string) (int, error) {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return 0, fmt.Errorf("specfuzz: %s: %w", what, err)
+	}
+	for k, n := range names {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("specfuzz: unknown %s %q", what, s)
+}
+
+// MarshalJSON renders the kind by name.
+func (k WindowKind) MarshalJSON() ([]byte, error) { return enumJSON(k.String()) }
+
+// UnmarshalJSON parses a kind name.
+func (k *WindowKind) UnmarshalJSON(data []byte) error {
+	v, err := enumFromJSON(data, windowNames[:], "window kind")
+	if err == nil {
+		*k = WindowKind(v)
+	}
+	return err
+}
+
+// MarshalJSON renders the kind by name.
+func (k PatternKind) MarshalJSON() ([]byte, error) { return enumJSON(k.String()) }
+
+// UnmarshalJSON parses a kind name.
+func (k *PatternKind) UnmarshalJSON(data []byte) error {
+	v, err := enumFromJSON(data, patternNames[:], "pattern kind")
+	if err == nil {
+		*k = PatternKind(v)
+	}
+	return err
+}
+
+// MarshalJSON renders the kind by name.
+func (k ReceiverKind) MarshalJSON() ([]byte, error) { return enumJSON(k.String()) }
+
+// UnmarshalJSON parses a kind name.
+func (k *ReceiverKind) UnmarshalJSON(data []byte) error {
+	v, err := enumFromJSON(data, receiverNames[:], "receiver kind")
+	if err == nil {
+		*k = ReceiverKind(v)
+	}
+	return err
+}
+
+// GadgetSpec is one point in the gadget space: everything needed to
+// assemble the differential pair of programs deterministically. The JSON
+// form is the corpus format and part of the campaign cache key, so field
+// semantics must stay stable.
+type GadgetSpec struct {
+	// ID names the gadget within its generation run ("g0042").
+	ID string `json:"id"`
+	// Seed drives spec-local randomness (noise-block addresses).
+	Seed uint64 `json:"seed"`
+
+	Window   WindowKind   `json:"window"`
+	Pattern  PatternKind  `json:"pattern"`
+	Receiver ReceiverKind `json:"receiver"`
+
+	// Entries is the receiver-slot count (power of two, 8..64); secrets
+	// are drawn from [0, Entries).
+	Entries int `json:"entries"`
+	// Stride is the byte distance between receiver slots (power of two
+	// ≥ 64, so distinct slots are distinct lines).
+	Stride int64 `json:"stride"`
+	// Bit is the transmitted bit for PatternBit (0 otherwise).
+	Bit int `json:"bit,omitempty"`
+
+	// TrainRounds is how many in-bounds victim calls precede the attack.
+	TrainRounds int `json:"train_rounds"`
+	// FlushBounds flushes the bounds line(s) before the attack call so
+	// the mispredicted check resolves at memory latency.
+	FlushBounds bool `json:"flush_bounds"`
+	// FenceBeforeAttack serializes between the flush and the attack.
+	FenceBeforeAttack bool `json:"fence_before_attack"`
+	// DelayAfterAttack loads a cold line after the attack so a
+	// squash-surviving in-flight fill has time to land before the probe.
+	DelayAfterAttack bool `json:"delay_after_attack"`
+	// SecretResident pre-loads the secret's line (victim data in active
+	// use); when false the transient secret read itself misses, and the
+	// whole transmission rides on fills that are still in flight at
+	// squash time.
+	SecretResident bool `json:"secret_resident"`
+	// NoiseBlocks interleaves that many workload-shaped hash/load blocks
+	// before the train phase.
+	NoiseBlocks int `json:"noise_blocks"`
+
+	// SecretA and SecretB are the two planted secrets of the
+	// differential pair, both in [0, Entries), always distinct.
+	SecretA int `json:"secret_a"`
+	SecretB int `json:"secret_b"`
+}
+
+// String is the compact one-line form used in logs and reports.
+func (s GadgetSpec) String() string {
+	return fmt.Sprintf("%s[%s/%s/%s e=%d s=%d train=%d flush=%v fence=%v delay=%v res=%v noise=%d A=%d B=%d]",
+		s.ID, s.Window, s.Pattern, s.Receiver, s.Entries, s.Stride, s.TrainRounds,
+		s.FlushBounds, s.FenceBeforeAttack, s.DelayAfterAttack, s.SecretResident, s.NoiseBlocks,
+		s.SecretA, s.SecretB)
+}
+
+// Validate checks the structural invariants the program builder relies on.
+func (s GadgetSpec) Validate() error {
+	switch {
+	case s.Window < 0 || s.Window >= numWindowKinds:
+		return fmt.Errorf("specfuzz: %s: invalid window kind %d", s.ID, int(s.Window))
+	case s.Pattern < 0 || s.Pattern >= numPatternKinds:
+		return fmt.Errorf("specfuzz: %s: invalid pattern kind %d", s.ID, int(s.Pattern))
+	case s.Receiver < 0 || s.Receiver >= numReceiverKinds:
+		return fmt.Errorf("specfuzz: %s: invalid receiver kind %d", s.ID, int(s.Receiver))
+	case s.Entries < 2 || s.Entries > maxEntries || s.Entries&(s.Entries-1) != 0:
+		return fmt.Errorf("specfuzz: %s: entries %d not a power of two in [2,%d]", s.ID, s.Entries, maxEntries)
+	case s.Stride < arch.LineBytes || s.Stride&(s.Stride-1) != 0:
+		return fmt.Errorf("specfuzz: %s: stride %d not a power of two ≥ %d", s.ID, s.Stride, arch.LineBytes)
+	case int64(s.Entries)*s.Stride > recvSpan:
+		return fmt.Errorf("specfuzz: %s: receiver %d×%d overflows its %d-byte region", s.ID, s.Entries, s.Stride, recvSpan)
+	case s.Bit < 0 || (1<<s.Bit) >= s.Entries:
+		return fmt.Errorf("specfuzz: %s: bit %d out of range for %d entries", s.ID, s.Bit, s.Entries)
+	case s.TrainRounds < 1 || s.TrainRounds >= boundsEntries:
+		return fmt.Errorf("specfuzz: %s: train rounds %d outside [1,%d]", s.ID, s.TrainRounds, boundsEntries-1)
+	case s.NoiseBlocks < 0 || s.NoiseBlocks > 8:
+		return fmt.Errorf("specfuzz: %s: noise blocks %d outside [0,8]", s.ID, s.NoiseBlocks)
+	case s.SecretA < 0 || s.SecretA >= s.Entries || s.SecretB < 0 || s.SecretB >= s.Entries:
+		return fmt.Errorf("specfuzz: %s: secrets %d/%d outside [0,%d)", s.ID, s.SecretA, s.SecretB, s.Entries)
+	case s.SecretA == s.SecretB:
+		return fmt.Errorf("specfuzz: %s: differential pair needs distinct secrets", s.ID)
+	}
+	return nil
+}
+
+// Generate derives n gadget specs from seed. The sequence is a pure
+// function of (seed, n-prefix): Generate(s, 10) is a prefix of
+// Generate(s, 20), and two calls with the same arguments are deeply equal
+// — the determinism the campaign cache and the golden tests rely on.
+func Generate(seed uint64, n int) []GadgetSpec {
+	rng := xrand.New(seed)
+	specs := make([]GadgetSpec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, randomSpec(rng, i))
+	}
+	return specs
+}
+
+var (
+	entryChoices  = []int{8, 16, 32, 64}
+	strideChoices = []int64{64, 128, 512}
+)
+
+// randomSpec draws one spec. Axis weights favor configurations that open a
+// real transient window (flushed bounds, post-attack delay) so a modest
+// budget still produces plenty of effective gadgets, while keeping enough
+// probability on the "broken gadget" corners (unflushed bounds, missing
+// delay) that the oracle's negative space is exercised too.
+func randomSpec(rng *xrand.Rand, idx int) GadgetSpec {
+	s := GadgetSpec{
+		ID:                fmt.Sprintf("g%04d", idx),
+		Seed:              rng.Uint64(),
+		Window:            WindowKind(rng.Uint64n(uint64(numWindowKinds))),
+		Pattern:           PatternKind(rng.Uint64n(uint64(numPatternKinds))),
+		Receiver:          ReceiverKind(rng.Uint64n(uint64(numReceiverKinds))),
+		Entries:           entryChoices[rng.Uint64n(uint64(len(entryChoices)))],
+		Stride:            strideChoices[rng.Uint64n(uint64(len(strideChoices)))],
+		TrainRounds:       3 + int(rng.Uint64n(8)),
+		FlushBounds:       rng.Uint64n(8) != 0,
+		FenceBeforeAttack: rng.Uint64n(8) != 0,
+		DelayAfterAttack:  rng.Uint64n(8) != 0,
+		SecretResident:    rng.Uint64n(4) != 0,
+		NoiseBlocks:       int(rng.Uint64n(4)),
+	}
+	if s.Pattern == PatternBit {
+		// Pick a bit the entry count can actually express.
+		maxBit := 0
+		for (1 << (maxBit + 1)) < s.Entries {
+			maxBit++
+		}
+		s.Bit = int(rng.Uint64n(uint64(maxBit + 1)))
+	}
+	// Prefer a secret whose receiver slot the training phase does not
+	// warm: trained slots are fast in both runs of the pair, so a
+	// trained-range secret transmits invisibly through the Flush+Reload
+	// receiver. A few rejection draws suffice; if the spec's corner of
+	// the space has no untrained slot, any secret is accepted (the
+	// gadget is then likely ineffective — explored negative space).
+	s.SecretA = int(rng.Uint64n(uint64(s.Entries)))
+	for tries := 0; tries < 16 && trainedSlot(s, encSlot(s, s.SecretA)); tries++ {
+		s.SecretA = int(rng.Uint64n(uint64(s.Entries)))
+	}
+	s.SecretB = drawSecretB(rng, s)
+	return s
+}
+
+// trainedSlot reports whether the training phase's in-bounds calls
+// (x = 1..TrainRounds) warm this receiver slot on the correct path.
+func trainedSlot(s GadgetSpec, slot int) bool {
+	for x := 1; x <= s.TrainRounds; x++ {
+		if encSlot(s, x) == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// drawSecretB picks SecretB so the pair is actually distinguishable by the
+// spec's receiver: distinct from SecretA, encoding to a distinct receiver
+// slot, and (for Prime+Probe) a slot in a different L1 set than the primed
+// one — otherwise both runs disturb the monitored set identically and the
+// gadget cannot leak even unprotected. The rejection loop is bounded by a
+// deterministic linear scan so generation always terminates.
+func drawSecretB(rng *xrand.Rand, s GadgetSpec) int {
+	ok := func(b int) bool {
+		if b == s.SecretA || encSlot(s, b) == encSlot(s, s.SecretA) {
+			return false
+		}
+		if s.Receiver == RecvPrimeProbe {
+			return recvSet(s, encSlot(s, b)) != recvSet(s, encSlot(s, s.SecretA))
+		}
+		return true
+	}
+	for tries := 0; tries < 64; tries++ {
+		b := int(rng.Uint64n(uint64(s.Entries)))
+		if ok(b) && (tries >= 16 || !trainedSlot(s, encSlot(s, b))) {
+			return b
+		}
+	}
+	for b := 0; b < s.Entries; b++ {
+		if ok(b) {
+			return b
+		}
+	}
+	// Degenerate spec (e.g. every slot aliases): fall back to any value
+	// distinct from A; Validate accepts it and the oracle simply reports
+	// "no leak" for the pair.
+	return (s.SecretA + 1) % s.Entries
+}
+
+// encSlot is the receiver slot index the transient code accesses for a
+// given secret value under the spec's pattern. The two-level table is the
+// identity map, so it forwards the value unchanged (its own table access
+// adds a second, coarser channel on top).
+func encSlot(s GadgetSpec, secret int) int {
+	if s.Pattern == PatternBit {
+		return (secret >> s.Bit) & 1
+	}
+	return secret
+}
+
+// recvSet is the L1 set index of a receiver slot under the default
+// mod-indexed L1 (the paper's 64KB/8-way geometry; the L1 is never
+// randomized by any policy in this repository).
+func recvSet(s GadgetSpec, slot int) int {
+	a := addrRecv + arch.Addr(int64(slot)*s.Stride)
+	return int(uint64(a.Line()) % uint64(defaultL1Sets))
+}

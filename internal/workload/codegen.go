@@ -29,6 +29,27 @@ const (
 	rCold    = isa.Reg(21)
 )
 
+// EmitNoise emits n compact blocks of realistic filler activity into an
+// externally owned program: per block, a hash of the running value selects
+// a line-aligned index into [base, base+span), a load brings it in, and a
+// dependent ALU op chains the loaded value into the next block's hash —
+// the same hash/load/depend idiom Profile.Build uses for workload bodies.
+// The specfuzz gadget generator interleaves these blocks around its
+// speculative gadgets so fuzzed programs carry workload-shaped cache and
+// predictor pressure, not just the bare attack skeleton. The emitted code
+// is branch-free and uses only scratch registers r..r+2; span must be a
+// power of two ≥ 64.
+func EmitNoise(b *isa.Builder, rng *xrand.Rand, n int, base arch.Addr, span int64, r isa.Reg) {
+	mask := (span - 1) &^ 63 // line-aligned indices within the region
+	rIdxN, rAddrN, rValN := r, r+1, r+2
+	for i := 0; i < n; i++ {
+		b.Mix(rIdxN, rValN, int64(rng.Uint32()))
+		b.AluI(isa.AluAnd, rIdxN, rIdxN, mask)
+		b.AddI(rAddrN, rIdxN, int64(base))
+		b.Load(rValN, rAddrN, 0)
+	}
+}
+
 // Build synthesizes the workload program for a profile.
 //
 // The program is an infinite loop of Blocks basic blocks. Each block hashes

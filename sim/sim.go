@@ -243,6 +243,19 @@ func buildPolicy(cfg Config) (cpu.Policy, memsys.Config, error) {
 	return pol, hcfg, nil
 }
 
+// BuildPolicy instantiates the policy object and hierarchy configuration a
+// config resolves to — the exact pair RunWorkload would simulate with.
+// Harnesses that drive the core directly (the attack toolkit, the specfuzz
+// differential oracle) use it so every policy spelling in the repo goes
+// through one constructor.
+func BuildPolicy(cfg Config) (cpu.Policy, memsys.Config, error) {
+	pol, hcfg, err := buildPolicy(cfg.withDefaults())
+	if err != nil {
+		return nil, memsys.Config{}, err
+	}
+	return pol, hcfg, nil
+}
+
 // Workloads returns the names of the 19 SPEC-like workloads (Table 3
 // order).
 func Workloads() []string {
