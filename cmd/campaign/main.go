@@ -20,11 +20,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/sim"
 )
@@ -77,6 +82,10 @@ run flags:
   -cache dir          durable result cache (default ".campaign"; "" = memory only)
   -csv file           write per-cell results as CSV ("-" = stdout)
   -q                  suppress progress lines
+  -http addr          serve /status and /metrics during the run (e.g. :8080)
+  -http-linger dur    keep the -http server up after the run (CI scrapes)
+  -span-out file      write the run's span trace as JSONL
+  -span-trace file    write the run's span trace as Chrome trace JSON
 
 status/export flags:
   -cache dir          cache directory (default ".campaign")
@@ -115,6 +124,10 @@ func cmdRun(args []string) error {
 		cacheDir     = fs.String("cache", ".campaign", "result cache directory (empty = memory only)")
 		csvOut       = fs.String("csv", "", "write per-cell results as CSV to this file (- = stdout)")
 		quiet        = fs.Bool("q", false, "suppress progress lines")
+		httpAddr     = fs.String("http", "", "serve /status and /metrics on this address while the campaign runs (e.g. :8080)")
+		httpLinger   = fs.Duration("http-linger", 0, "keep the -http server up this long after the run finishes")
+		spanOut      = fs.String("span-out", "", "write the run's span trace as JSONL to this file")
+		spanTrace    = fs.String("span-trace", "", "write the run's span trace as Chrome trace JSON to this file")
 	)
 	fs.Parse(args)
 
@@ -171,9 +184,28 @@ func cmdRun(args []string) error {
 		}
 	}
 
+	// Any observability flag turns the span plane on; with none set the
+	// engine keeps its zero-alloc untraced hot path.
+	var sink *obs.Sink
+	if *httpAddr != "" || *spanOut != "" || *spanTrace != "" {
+		sink = obs.NewSink()
+		eng.Trace = obs.NewTracer(sink)
+	}
+	if *httpAddr != "" {
+		if err := serveHTTP(*httpAddr, eng, sink); err != nil {
+			return err
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "campaign: grid %q: %d workload(s) x %d policy(ies) x %d seed(s) = %d job(s), %d worker(s)\n",
 		grid.Name, len(grid.Workloads), len(grid.Policies), max(1, len(grid.Seeds)), len(jobs), workers(*parallel))
 	results := eng.Run(jobs)
+
+	if sink != nil {
+		if err := writeSpans(sink, *spanOut, *spanTrace); err != nil {
+			return err
+		}
+	}
 
 	fmt.Println(campaign.SummaryTable(results).String())
 
@@ -213,8 +245,95 @@ func cmdRun(args []string) error {
 			fmt.Fprintln(os.Stderr, line)
 		}
 	}
+	// Linger after the results are final, so a scraper (the CI smoke
+	// test) can read the end-of-run /status and /metrics deterministically.
+	if *httpAddr != "" && *httpLinger > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: run finished; serving for another %s\n", *httpLinger)
+		time.Sleep(*httpLinger)
+	}
 	if n := len(failed) + len(quarantined); n > 0 {
 		return fmt.Errorf("%d of %d jobs did not complete (rerun to retry just those cells)", n, len(results))
+	}
+	return nil
+}
+
+// serveHTTP starts the observability endpoints in the background:
+// /status (per-cell manifest state as JSON) and /metrics (text
+// exposition of the span-sink counters plus live job-state gauges).
+func serveHTTP(addr string, eng *campaign.Engine, sink *obs.Sink) error {
+	reg := metrics.NewRegistry()
+	sink.AttachMetrics(reg)
+	if m := eng.Manifest; m != nil {
+		// Live job-state gauges read the manifest under its own lock, so
+		// scrapes mid-run see a consistent snapshot.
+		count := func(pick func(p, d, f, q int) int) func() float64 {
+			return func() float64 {
+				p, d, f, q := m.Counts()
+				return float64(pick(p, d, f, q))
+			}
+		}
+		reg.GaugeFunc("campaign.jobs_pending", count(func(p, _, _, _ int) int { return p }))
+		reg.GaugeFunc("campaign.jobs_done", count(func(_, d, _, _ int) int { return d }))
+		reg.GaugeFunc("campaign.jobs_failed", count(func(_, _, f, _ int) int { return f }))
+		reg.GaugeFunc("campaign.jobs_quarantined", count(func(_, _, _, q int) int { return q }))
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/status", obs.StatusHandler(func() any {
+		if eng.Manifest == nil {
+			return campaign.StatusSnapshot{}
+		}
+		return eng.Manifest.Status()
+	}))
+	mux.Handle("/metrics", obs.MetricsHandler(reg.Snapshot))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("campaign: -http %s: %w", addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign: serving /status and /metrics on http://%s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: http server:", err)
+		}
+	}()
+	return nil
+}
+
+// writeSpans exports the collected span trace: JSONL in canonical span
+// order (wall-clock durations preserved — only the order is normalized)
+// and/or Chrome trace JSON for the Perfetto UI.
+func writeSpans(sink *obs.Sink, jsonlPath, chromePath string) error {
+	spans := sink.Spans()
+	obs.SortCanonical(spans)
+	if st := sink.Stats(); st.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: warning: span sink dropped %d span(s) (cap %d)\n", st.Dropped, sink.MaxSpans)
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "campaign: wrote %d span(s) to %s\n", len(spans), jsonlPath)
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteChromeEvents(f, obs.ChromeEvents(spans, 1)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "campaign: wrote Chrome trace to", chromePath)
 	}
 	return nil
 }

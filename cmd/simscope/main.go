@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/sim"
 )
@@ -69,6 +70,9 @@ run flags:
 
 campaign flags:
   -cache dir          cache directory (default ".campaign")
+  -spans file         span JSONL from "campaign run -span-out": render the
+                      top-N slowest cells and the per-stage breakdown
+  -top N              with -spans: slowest cells to list (default 10)
 `)
 }
 
@@ -191,7 +195,13 @@ func printHistograms(reg *metrics.Registry, pat string) {
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("simscope campaign", flag.ExitOnError)
 	cacheDir := fs.String("cache", ".campaign", "cache directory")
+	spansIn := fs.String("spans", "", "span JSONL from `campaign run -span-out` (renders the span view instead of the cache view)")
+	topN := fs.Int("top", 10, "with -spans: how many slowest cells to list")
 	fs.Parse(args)
+
+	if *spansIn != "" {
+		return spanView(*spansIn, *topN)
+	}
 
 	cache, err := campaign.OpenCache(*cacheDir)
 	if err != nil {
@@ -333,4 +343,87 @@ func indent(s, by string) string {
 		lines[i] = by + l
 	}
 	return strings.Join(lines, "\n") + "\n"
+}
+
+// spanView renders the observability view of a campaign: the top-N
+// slowest cells (root spans) and the per-stage wall-time breakdown
+// (cache-probe vs simulate vs verify vs journal-append) aggregated across
+// every cell in the span file.
+func spanView(path string, topN int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("span file %s is empty", path)
+	}
+
+	// Roots are the cells; children are the stages. Retried stages (same
+	// name, higher Seq) fold into the same stage bucket.
+	type cell struct {
+		name  string
+		durNs int64
+	}
+	var cells []cell
+	stageNs := make(map[string]int64)
+	stageCount := make(map[string]int)
+	var totalStageNs int64
+	for _, s := range spans {
+		if s.Parent == 0 {
+			cells = append(cells, cell{name: s.Name, durNs: s.DurNs})
+			continue
+		}
+		stageNs[s.Name] += s.DurNs
+		stageCount[s.Name]++
+		totalStageNs += s.DurNs
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("span file %s has no root spans", path)
+	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].durNs != cells[j].durNs {
+			return cells[i].durNs > cells[j].durNs
+		}
+		return cells[i].name < cells[j].name
+	})
+	if topN > len(cells) {
+		topN = len(cells)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("simscope: %d cell(s) in %s, %d slowest", len(cells), path, topN),
+		"Cell", "Wall", "Share")
+	var totalNs int64
+	for _, c := range cells {
+		totalNs += c.durNs
+	}
+	for _, c := range cells[:topN] {
+		share := 0.0
+		if totalNs > 0 {
+			share = float64(c.durNs) / float64(totalNs)
+		}
+		t.AddRow(c.name, fmtNs(c.durNs), fmt.Sprintf("%.1f%%", share*100))
+	}
+	fmt.Println(t.String())
+
+	st := stats.NewTable("stage breakdown (all cells)", "Stage", "Spans", "Wall", "Share")
+	for _, name := range stats.SortedKeys(stageNs) {
+		share := 0.0
+		if totalStageNs > 0 {
+			share = float64(stageNs[name]) / float64(totalStageNs)
+		}
+		st.AddRow(name, fmt.Sprintf("%d", stageCount[name]), fmtNs(stageNs[name]), fmt.Sprintf("%.1f%%", share*100))
+	}
+	fmt.Println(st.String())
+	return nil
+}
+
+// fmtNs renders a wall-clock duration at ms precision (span durations are
+// ns, but cell walls are tens to hundreds of ms).
+func fmtNs(ns int64) string {
+	return fmt.Sprintf("%.1fms", float64(ns)/1e6)
 }

@@ -10,6 +10,7 @@
 //	specfuzz minimize -corpus corpus.jsonl -policy nonsecure -out reduced.jsonl
 //	specfuzz corpus   -in corpus.jsonl -require-leak nonsecure -require-clean cleanupspec
 //	specfuzz report   -in report.json
+//	specfuzz report   -coverage -corpus corpus.jsonl
 //
 // A seeded run is fully deterministic: the same (seed, count, policies)
 // triple produces byte-identical corpora and verdicts regardless of
@@ -91,7 +92,11 @@ corpus flags:
   -check-expect       fail on any expectation mismatch (default true)
 
 report flags:
-  -in file            JSON report from "specfuzz run" (required)
+  -in file            JSON report from "specfuzz run"
+  -corpus file        derive coverage from a JSONL corpus instead of a report
+  -coverage           render the gadget-space coverage heatmap
+                      (window × pattern × receiver × flush cells per policy,
+                      with every unexplored cell named)
 
 policies: %s
 `, runtime.GOMAXPROCS(0), policyNames())
@@ -397,18 +402,46 @@ func expectedPolicies(entries []specfuzz.CorpusEntry, extra ...[]sim.Policy) []s
 
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("specfuzz report", flag.ExitOnError)
-	inF := fs.String("in", "", "JSON report from \"specfuzz run\" (required)")
+	inF := fs.String("in", "", "JSON report from \"specfuzz run\"")
+	corpusF := fs.String("corpus", "", "derive coverage from this JSONL corpus instead of a report")
+	coverage := fs.Bool("coverage", false, "render the gadget-space coverage heatmap (window × pattern × receiver × flush)")
 	fs.Parse(args)
-	if *inF == "" {
-		return fmt.Errorf("report: -in is required")
-	}
-	data, err := os.ReadFile(*inF)
-	if err != nil {
-		return err
-	}
+
 	var rep specfuzz.Report
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return fmt.Errorf("report: parsing %s: %w", *inF, err)
+	var cov specfuzz.Coverage
+	switch {
+	case *inF != "":
+		data, err := os.ReadFile(*inF)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("report: parsing %s: %w", *inF, err)
+		}
+		cov = rep.Coverage
+		if cov == nil {
+			// Reports from before coverage landed still render: derive it.
+			cov = specfuzz.CoverageFromReport(rep)
+		}
+	case *corpusF != "":
+		if !*coverage {
+			return fmt.Errorf("report: -corpus only renders coverage (pass -coverage)")
+		}
+		entries, err := specfuzz.LoadCorpus(*corpusF)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("report: corpus %s has no entries", *corpusF)
+		}
+		cov = specfuzz.CoverageFromEntries(entries)
+	default:
+		return fmt.Errorf("report: -in or -corpus is required")
+	}
+
+	if *coverage {
+		cov.WriteHeatmap(os.Stdout)
+		return nil
 	}
 	printReport(rep)
 	for _, f := range rep.Failures {

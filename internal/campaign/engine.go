@@ -8,11 +8,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 	"repro/sim"
@@ -61,6 +63,13 @@ type Engine struct {
 	// derives a child injector keyed by its cache key, so which worker
 	// picks up a job never changes the faults it sees.
 	Faults *faultinject.Injector
+	// Trace, when non-nil, emits one span tree per job — lease →
+	// cache-probe → simulate (per attempt) → verify → journal-append —
+	// into its obs.Sink. Span identities are content-derived from the
+	// job's cache key, so the canonical span stream is byte-identical
+	// across worker counts; a nil tracer costs one nil check per stage
+	// and zero allocations (pinned by the obs benchmarks).
+	Trace *obs.Tracer
 
 	mu    sync.Mutex
 	memo  map[string]memoVal
@@ -325,6 +334,7 @@ func (e *Engine) writeQuarantineDump(job Job, key string, pe *PanicError, ring *
 // per the engine's retry policy before being returned.
 func (e *Engine) RunOne(job Job) (res sim.Result, cached bool, err error) {
 	r := e.runJob(job)
+	r.span.End()
 	return r.Result, r.Cached, r.Err
 }
 
@@ -334,12 +344,26 @@ func (e *Engine) runJob(job Job) JobResult {
 	if kerr != nil {
 		return JobResult{Job: job, Err: kerr, Elapsed: time.Since(start)}
 	}
-	if val, ok := e.lookup(key); ok {
-		return JobResult{Job: job, Key: key, Result: val.res, Aux: val.aux, Cached: true, Elapsed: time.Since(start)}
+	// One trace per cell, rooted at the content key: the span tree below
+	// (lease → cache-probe → simulate* → verify) is identical across
+	// worker counts because every identity derives from key and stage
+	// name, never from scheduling. The root is left open here — Run (or
+	// RunOne) ends it after the journal-append stage. The e.Trace != nil
+	// guard keeps job.String() off the untraced hot path (it allocates).
+	var root *obs.Span
+	if e.Trace != nil {
+		root = e.Trace.Trace(job.String(), key)
+		root.Child("lease").End()
+	}
+	probe := root.Child("cache-probe")
+	val, hit := e.lookup(key)
+	probe.SetAttr("hit", strconv.FormatBool(hit))
+	probe.End()
+	if hit {
+		return JobResult{Job: job, Key: key, Result: val.res, Aux: val.aux, Cached: true, Elapsed: time.Since(start), span: root}
 	}
 	faults := e.Faults.Child(key)
 	var (
-		val      memoVal
 		err      error
 		attempts int
 	)
@@ -371,7 +395,22 @@ func (e *Engine) runJob(job Job) JobResult {
 		}
 		attempts++
 		e.sims.Add(1)
+		sp := root.Child("simulate")
+		if sp != nil {
+			// Attr values built only on the traced path: the disabled
+			// tracer's hot path must not even format an integer.
+			sp.SetAttr("attempt", strconv.Itoa(attempt))
+		}
 		val, err = e.runAttempt(job, cfg, faults)
+		switch {
+		case err == nil:
+			sp.SetAttr("outcome", "ok")
+		case errors.As(err, new(*PanicError)):
+			sp.SetAttr("outcome", "panic")
+		default:
+			sp.SetAttr("outcome", "error")
+		}
+		sp.End()
 		if err == nil {
 			break
 		}
@@ -380,12 +419,13 @@ func (e *Engine) runJob(job Job) JobResult {
 			// A panic is an engine/model fault, not a flaky cell: retrying
 			// buys nothing and risks a second panic. Quarantine with the
 			// evidence instead.
-			jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start), Err: err, Quarantined: true}
+			root.SetAttr("quarantined", "true")
+			jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start), Err: err, Quarantined: true, span: root}
 			jr.DumpPath = e.writeQuarantineDump(job, key, pe, ring, cfg.Metrics)
 			return jr
 		}
 	}
-	jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start)}
+	jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start), span: root}
 	if err != nil {
 		// Not wrapped with the job name: every consumer (reporter,
 		// manifest, CLI failure listing) prints jr.Job alongside.
@@ -394,7 +434,12 @@ func (e *Engine) runJob(job Job) JobResult {
 	}
 	jr.Result = val.res
 	jr.Aux = val.aux
-	if serr := e.store(job, key, val); serr != nil {
+	// "verify" is the write-through stage: the checksummed cache entry is
+	// the artifact whose integrity fsck later re-verifies.
+	verify := root.Child("verify")
+	serr := e.store(job, key, val)
+	verify.End()
+	if serr != nil {
 		// A result that simulated fine but failed to persist is still a
 		// usable result; surface the cache problem without failing the job.
 		jr.Err = nil
@@ -405,6 +450,7 @@ func (e *Engine) runJob(job Job) JobResult {
 	return jr
 }
 
+
 // Run executes jobs on the worker pool and returns their results in job
 // order (independent of scheduling), so aggregation over the returned
 // slice is deterministic for a fixed grid. The manifest, when attached,
@@ -413,6 +459,18 @@ func (e *Engine) runJob(job Job) JobResult {
 // individual job failures — inspect JobResult.Err/Quarantined (or
 // Failed/Quarantined on the returned slice) for the per-cell outcomes.
 func (e *Engine) Run(jobs []Job) []JobResult {
+	if e.Trace != nil && e.Faults != nil {
+		// Fault events land in the same timeline as the engine stages:
+		// one instant span per fired fault, keyed on the event's own
+		// content (site/kind/hit count), which the schedule fixes
+		// deterministically regardless of worker interleaving.
+		e.Faults.SetObserver(func(ev faultinject.Event) {
+			e.Trace.Instant("fault", ev.String(),
+				obs.Attr{K: "site", V: ev.Site.String()},
+				obs.Attr{K: "kind", V: ev.Kind.String()},
+				obs.Attr{K: "hit", V: strconv.FormatUint(ev.Hit, 10)})
+		})
+	}
 	if e.Manifest != nil {
 		e.Manifest.Reconcile(e.Manifest.Grid, jobs)
 		_ = e.Manifest.Save()
@@ -436,10 +494,14 @@ func (e *Engine) Run(jobs []Job) []JobResult {
 				jr := e.runJob(jobs[i])
 				results[i] = jr
 				if e.Manifest != nil {
-					if merr := e.Manifest.Append(jr); merr != nil && e.Reporter != nil {
+					jsp := jr.span.Child("journal-append")
+					merr := e.Manifest.Append(jr)
+					jsp.End()
+					if merr != nil && e.Reporter != nil {
 						e.Reporter.Warn(fmt.Sprintf("manifest append failed for %s: %v", jr.Job, merr))
 					}
 				}
+				jr.span.End()
 				if e.Reporter != nil {
 					e.Reporter.JobDone(jr)
 				}

@@ -370,22 +370,25 @@ func (m *Manifest) Counts() (pending, done, failed, quarantined int) {
 	return
 }
 
+// lessRecord is the canonical row order: (workload, policy, variant,
+// seed).
+func lessRecord(a, b *JobRecord) bool {
+	if a.Workload != b.Workload {
+		return a.Workload < b.Workload
+	}
+	if a.Policy != b.Policy {
+		return a.Policy < b.Policy
+	}
+	if a.Variant != b.Variant {
+		return a.Variant < b.Variant
+	}
+	return a.Seed < b.Seed
+}
+
 // sortRecords orders rows by (workload, policy, variant, seed) for stable
 // output.
 func sortRecords(out []*JobRecord) {
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Workload != b.Workload {
-			return a.Workload < b.Workload
-		}
-		if a.Policy != b.Policy {
-			return a.Policy < b.Policy
-		}
-		if a.Variant != b.Variant {
-			return a.Variant < b.Variant
-		}
-		return a.Seed < b.Seed
-	})
+	sort.Slice(out, func(i, j int) bool { return lessRecord(out[i], out[j]) })
 }
 
 // Records returns every job record, sorted for stable output

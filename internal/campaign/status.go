@@ -1,0 +1,47 @@
+package campaign
+
+import "sort"
+
+// StatusSnapshot is the live view of a campaign served by
+// `campaign run -http` at /status: the counts summary plus one row per
+// cell (state, cache hit/miss, quarantine, per-cell IPC). Rows are
+// value copies taken under the manifest lock, so the snapshot is safe to
+// marshal while workers keep appending, and sorted so the JSON is
+// deterministic for a given campaign state.
+type StatusSnapshot struct {
+	Grid        string      `json:"grid"`
+	Total       int         `json:"total"`
+	Pending     int         `json:"pending"`
+	Done        int         `json:"done"`
+	Failed      int         `json:"failed"`
+	Quarantined int         `json:"quarantined"`
+	Cells       []JobRecord `json:"cells"`
+}
+
+// Status captures the manifest's current state for the HTTP status
+// endpoint (and anything else that wants a consistent point-in-time
+// copy rather than live record pointers).
+func (m *Manifest) Status() StatusSnapshot {
+	m.mu.Lock()
+	snap := StatusSnapshot{Grid: m.Grid, Total: len(m.Jobs)}
+	snap.Cells = make([]JobRecord, 0, len(m.Jobs))
+	//simlint:ordered -- rows are collected then sorted below; counting is commutative
+	for _, rec := range m.Jobs {
+		snap.Cells = append(snap.Cells, *rec)
+		switch rec.Status {
+		case StatusDone:
+			snap.Done++
+		case StatusFailed:
+			snap.Failed++
+		case StatusQuarantined:
+			snap.Quarantined++
+		default:
+			snap.Pending++
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(snap.Cells, func(i, j int) bool {
+		return lessRecord(&snap.Cells[i], &snap.Cells[j])
+	})
+	return snap
+}

@@ -1,0 +1,56 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledPath is the off-switch cost: the exact call sequence
+// the campaign engine makes per job, against a nil tracer. The companion
+// test below pins it at zero allocations, mirroring the PR 2 registry
+// guard; CI runs the benchmark so a regression also shows up as a number.
+func BenchmarkDisabledPath(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Trace("cell", "key")
+		probe := root.Child("cache-probe")
+		probe.End()
+		sim := root.Child("simulate")
+		sim.End()
+		verify := root.Child("verify")
+		verify.End()
+		root.End()
+	}
+}
+
+// TestDisabledPathZeroAllocs is the hard pin: tracing switched off (nil
+// tracer) must not allocate on the engine hot path.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.Trace("cell", "key")
+		probe := root.Child("cache-probe")
+		probe.SetAttr("hit", "true")
+		probe.End()
+		sim := root.Child("simulate")
+		sim.End()
+		root.Child("verify").End()
+		root.End()
+		tr.Instant("journal-append", "key")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// BenchmarkEnabledSpan is the on-switch cost, for the record (not
+// asserted — enabled tracing is allowed to allocate).
+func BenchmarkEnabledSpan(b *testing.B) {
+	sink := NewSink()
+	sink.MaxSpans = 1 << 20
+	tr := NewTracer(sink)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Trace("cell", "key")
+		root.Child("simulate").End()
+		root.End()
+	}
+}

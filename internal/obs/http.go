@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// StatusHandler serves the JSON produced by status() — the campaign
+// engine passes Manifest.Status, so /status is a live per-cell view
+// (state, hit/miss, quarantine) of the running grid. The snapshot
+// function runs per request; it must be safe for concurrent use.
+func StatusHandler(status func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(status()); err != nil {
+			// Headers are gone; all we can do is note it in the body.
+			fmt.Fprintf(w, "\n// encode error: %v\n", err)
+		}
+	})
+}
+
+// MetricsHandler serves a text exposition of the registry snapshot
+// returned by snap(). The registry itself is single-threaded; callers
+// hand in a closure that snapshots it safely (the campaign engine's
+// registry is append-only after setup and every bound source is either
+// atomic or lock-guarded, so Snapshot per request is sound there).
+func MetricsHandler(snap func() metrics.Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteTextExposition(w, snap())
+	})
+}
+
+// WriteTextExposition renders a snapshot in the conventional one-line-
+// per-sample text format: `name value`, names sorted, gauges suffixed
+// with their kind comment, histograms as count/sum plus per-bucket
+// cumulative lines. Output is deterministic for a given snapshot.
+func WriteTextExposition(w io.Writer, s metrics.Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", sanitizeMetricName(name), s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %g\n", sanitizeMetricName(name), s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		base := sanitizeMetricName(name)
+		fmt.Fprintf(w, "%s_count %d\n", base, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", base, h.Sum)
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", base, b.Hi, cum)
+		}
+	}
+}
+
+// sanitizeMetricName maps registry names ("cache.l1d.hits") onto the
+// exposition charset ("cache_l1d_hits").
+func sanitizeMetricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

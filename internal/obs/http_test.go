@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestStatusHandlerServesJSON(t *testing.T) {
+	h := StatusHandler(func() any {
+		return map[string]any{"done": 3, "total": 10}
+	})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/status", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	if !strings.Contains(string(body), `"done": 3`) {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+func TestMetricsHandlerTextExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var hits uint64 = 42
+	reg.BindCounter("cache.l1d.hits", &hits)
+	reg.GaugeFunc("rob.occ", func() float64 { return 2.5 })
+	h := reg.Histogram("restore.lat")
+	h.Observe(3)
+	h.Observe(9)
+
+	rr := httptest.NewRecorder()
+	MetricsHandler(func() metrics.Snapshot { return reg.Snapshot() }).
+		ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rr.Body.String()
+
+	for _, want := range []string{
+		"cache_l1d_hits 42\n",
+		"rob_occ 2.5\n",
+		"restore_lat_count 2\n",
+		"restore_lat_sum 12\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, `restore_lat_bucket{le=`) {
+		t.Fatalf("exposition missing histogram buckets:\n%s", body)
+	}
+	// Deterministic: two snapshots of an unchanged registry render the
+	// same bytes.
+	rr2 := httptest.NewRecorder()
+	MetricsHandler(func() metrics.Snapshot { return reg.Snapshot() }).
+		ServeHTTP(rr2, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if body != rr2.Body.String() {
+		t.Fatal("text exposition not deterministic across snapshots")
+	}
+}

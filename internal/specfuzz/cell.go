@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/sim"
 )
 
@@ -39,14 +40,24 @@ func NewJob(spec GadgetSpec, policy sim.Policy, seed uint64) (campaign.Job, erro
 	}, nil
 }
 
-// Register installs the fuzz-cell executor on a campaign engine.
-func Register(e *campaign.Engine) { e.RegisterCell(Kind, RunCell) }
+// Register installs the fuzz-cell executor on a campaign engine. The
+// executor reads e.Trace at call time, so oracle phases land in the same
+// span sink as the engine's own stage spans when tracing is on.
+func Register(e *campaign.Engine) {
+	e.RegisterCell(Kind, func(job campaign.Job) (sim.Result, json.RawMessage, error) {
+		return runCell(job, e.Trace)
+	})
+}
 
 // RunCell is the CellFunc for Kind: it decodes the gadget spec, runs the
 // differential pair under the job's policy, and returns the verdict as the
 // cell's Aux payload. The sim.Result half carries just enough identity for
 // the shared reporting surfaces (manifest rows, status tables).
 func RunCell(job campaign.Job) (sim.Result, json.RawMessage, error) {
+	return runCell(job, nil)
+}
+
+func runCell(job campaign.Job, tr *obs.Tracer) (sim.Result, json.RawMessage, error) {
 	var payload CellPayload
 	if err := json.Unmarshal(job.Cell, &payload); err != nil {
 		return sim.Result{}, nil, fmt.Errorf("specfuzz: decoding cell payload for %s: %w", job.Workload, err)
@@ -54,7 +65,7 @@ func RunCell(job campaign.Job) (sim.Result, json.RawMessage, error) {
 	if payload.Spec.ID != job.Workload {
 		return sim.Result{}, nil, fmt.Errorf("specfuzz: cell payload names gadget %q but job names %q", payload.Spec.ID, job.Workload)
 	}
-	v, err := RunPair(payload.Spec, job.Config)
+	v, err := RunPairTraced(payload.Spec, job.Config, tr)
 	if err != nil {
 		return sim.Result{}, nil, err
 	}

@@ -1,0 +1,186 @@
+package specfuzz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Coverage is the fuzzer's exploration signal: for each policy, how many
+// gadgets have exercised each cell of the coarse gadget space — window ×
+// pattern × receiver × flush-bounds, the four axes that decide whether a
+// transient window opens and which channel carries the secret. 3×3×2×2 =
+// 36 cells per policy. The map form (policy → cell name → gadget count)
+// marshals with sorted keys, so a persisted coverage block is
+// byte-deterministic for a given campaign.
+type Coverage map[string]map[string]int
+
+// flushNames labels the FlushBounds axis in cell names.
+var flushNames = [2]string{"noflush", "flush"}
+
+// CellName renders one coverage cell ("bounds-check/index/flush-reload/
+// flush"). It is the stable key format of the persisted coverage maps.
+func CellName(w WindowKind, p PatternKind, r ReceiverKind, flushBounds bool) string {
+	f := flushNames[0]
+	if flushBounds {
+		f = flushNames[1]
+	}
+	return w.String() + "/" + p.String() + "/" + r.String() + "/" + f
+}
+
+// SpecCell returns the coverage cell a gadget spec lands in.
+func SpecCell(s GadgetSpec) string {
+	return CellName(s.Window, s.Pattern, s.Receiver, s.FlushBounds)
+}
+
+// AllCells enumerates the full 36-cell space in canonical
+// (window, pattern, receiver, flush) order.
+func AllCells() []string {
+	var out []string
+	for w := WindowKind(0); w < numWindowKinds; w++ {
+		for p := PatternKind(0); p < numPatternKinds; p++ {
+			for r := ReceiverKind(0); r < numReceiverKinds; r++ {
+				for _, fb := range []bool{false, true} {
+					out = append(out, CellName(w, p, r, fb))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Add records one explored (policy, gadget) pair.
+func (c Coverage) Add(policy string, s GadgetSpec) {
+	cells := c[policy]
+	if cells == nil {
+		cells = make(map[string]int)
+		c[policy] = cells
+	}
+	cells[SpecCell(s)]++
+}
+
+// Merge folds other into c (summing counts), so a resumed or sharded
+// campaign accumulates one coverage picture.
+func (c Coverage) Merge(other Coverage) {
+	//simlint:ordered -- count addition is commutative; the merged map is order-independent
+	for policy, cells := range other {
+		dst := c[policy]
+		if dst == nil {
+			dst = make(map[string]int)
+			c[policy] = dst
+		}
+		//simlint:ordered -- count addition is commutative; the merged map is order-independent
+		for cell, n := range cells {
+			dst[cell] += n
+		}
+	}
+}
+
+// Policies returns the covered policies, sorted.
+func (c Coverage) Policies() []string {
+	out := make([]string, 0, len(c))
+	for p := range c {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Explored returns how many distinct cells a policy has explored.
+func (c Coverage) Explored(policy string) int { return len(c[policy]) }
+
+// Unexplored lists the cells a policy has never exercised, in canonical
+// cell order — the fuzzer's to-do list for that policy.
+func (c Coverage) Unexplored(policy string) []string {
+	var out []string
+	for _, cell := range AllCells() {
+		if c[policy][cell] == 0 {
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// CoverageFromReport computes the coverage of one campaign: a (policy,
+// gadget) pair counts as explored when its oracle cell completed (verdict
+// present — leak or not, exploration is about the question being asked).
+func CoverageFromReport(rep Report) Coverage {
+	c := make(Coverage)
+	for _, g := range rep.Gadgets {
+		for _, v := range g.Verdicts {
+			if v != nil {
+				c.Add(v.Policy, g.Spec)
+			}
+		}
+	}
+	return c
+}
+
+// CoverageFromEntries computes the coverage a corpus carries: each entry
+// explored its cell under every policy it records an expectation for.
+// This is what makes coverage "persisted in the corpus" — the corpus IS
+// the persistent record, and coverage is derived from it on demand, so
+// the two can never disagree.
+func CoverageFromEntries(entries []CorpusEntry) Coverage {
+	c := make(Coverage)
+	for _, e := range entries {
+		for _, x := range e.Expect {
+			c.Add(x.Policy, e.Spec)
+		}
+	}
+	return c
+}
+
+// WriteHeatmap renders the coverage as a deterministic text heatmap, one
+// block per policy (sorted): rows are window/pattern combinations,
+// columns receiver × flush, cells the gadget count ("." = unexplored).
+// Each block ends with the explored-cell ratio and the unexplored-cell
+// listing, so `specfuzz report -coverage` both shows the picture and
+// names the next gadgets worth generating.
+func (c Coverage) WriteHeatmap(w io.Writer) {
+	cols := make([]string, 0, int(numReceiverKinds)*2)
+	for r := ReceiverKind(0); r < numReceiverKinds; r++ {
+		for _, fb := range []bool{false, true} {
+			f := flushNames[0]
+			if fb {
+				f = flushNames[1]
+			}
+			cols = append(cols, r.String()+"/"+f)
+		}
+	}
+	const rowW, colW = 26, 22
+	for bi, policy := range c.Policies() {
+		if bi > 0 {
+			fmt.Fprintln(w)
+		}
+		total := len(AllCells())
+		fmt.Fprintf(w, "policy %s: %d/%d cells explored\n", policy, c.Explored(policy), total)
+		fmt.Fprintf(w, "%-*s", rowW, "")
+		for _, col := range cols {
+			fmt.Fprintf(w, "%*s", colW, col)
+		}
+		fmt.Fprintln(w)
+		for wk := WindowKind(0); wk < numWindowKinds; wk++ {
+			for pk := PatternKind(0); pk < numPatternKinds; pk++ {
+				fmt.Fprintf(w, "%-*s", rowW, wk.String()+"/"+pk.String())
+				for r := ReceiverKind(0); r < numReceiverKinds; r++ {
+					for _, fb := range []bool{false, true} {
+						n := c[policy][CellName(wk, pk, r, fb)]
+						if n == 0 {
+							fmt.Fprintf(w, "%*s", colW, ".")
+						} else {
+							fmt.Fprintf(w, "%*d", colW, n)
+						}
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		if missing := c.Unexplored(policy); len(missing) > 0 {
+			fmt.Fprintf(w, "unexplored (%d):\n", len(missing))
+			for _, cell := range missing {
+				fmt.Fprintf(w, "  %s\n", cell)
+			}
+		}
+	}
+}

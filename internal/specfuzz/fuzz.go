@@ -78,6 +78,10 @@ type Report struct {
 	Failures []string `json:"failures,omitempty"`
 	// CacheHits counts cells served from the campaign cache.
 	CacheHits int `json:"cache_hits"`
+
+	// Coverage maps each policy to the gadget-space cells (window ×
+	// pattern × receiver × flush) this campaign explored; see Coverage.
+	Coverage Coverage `json:"coverage,omitempty"`
 }
 
 // Survivors returns the (gadget, policy) pairs where a leak survived an
@@ -171,5 +175,6 @@ func Run(e *campaign.Engine, opts Options) (Report, error) {
 		rep.Gadgets = append(rep.Gadgets, gr)
 	}
 	rep.Summary = summary
+	rep.Coverage = CoverageFromReport(rep)
 	return rep, nil
 }
