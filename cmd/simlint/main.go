@@ -1,17 +1,23 @@
 // Command simlint runs the simulator-specific static-analysis suite over
-// this module: determinism (flow-sensitive map iteration order, ambient
-// randomness), metrics-completeness (every Stats counter bound to the
-// registry), cache-key purity (every sim.Config field keyed or
-// excluded+zeroed), cycle-typing (latency fields are uint64),
-// error-discipline (no panic in internal/ outside must* helpers),
-// lockorder (acquisition cycles, double locking, guarded fields touched
-// without their mutex), enumexhaustive (switches over iota enums cover
-// every constant or declare a default), and staledirective (suppressions
-// that no longer suppress anything).
+// this module: determinism (flow-sensitive map iteration order),
+// metrics-completeness (every Stats counter bound to the registry),
+// cache-key purity (every sim.Config field keyed or excluded+zeroed),
+// cycle-typing (latency fields are uint64), error-discipline (no panic in
+// internal/ outside must* helpers), lockorder (acquisition cycles, double
+// and callee re-acquisition, locks held across goroutine spawns, guarded
+// fields touched without their mutex — interprocedural via call-graph
+// summaries), detertaint (wall-clock/math-rand/map-order taint tracked
+// through calls, fields, and closures into key/ID/stats sinks),
+// undocomplete (speculative mutations in cache/memsys/coherence paired
+// with restore writes reachable from the cleanup path), deferunlock
+// (single Lock/Unlock pairs rewritable into the defer idiom),
+// enumexhaustive (switches over iota enums cover every constant or
+// declare a default), and staledirective (suppressions that no longer
+// suppress anything).
 //
 // Usage:
 //
-//	simlint [-json] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]
+//	simlint [-json] [-sarif file] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]
 //
 // Packages are directory patterns relative to the current directory
 // ("./...", "./internal/campaign", "./internal/..."); the default is the
@@ -19,13 +25,15 @@
 // -fix -diff, when fixes would change files), 2 on a load or usage error,
 // 0 when clean.
 //
-// -fix applies every mechanical rewrite the analyzers propose — the
-// collect-then-sort map-range idiom and stale-directive removal — through
-// gofmt, and is idempotent: a second run changes nothing. -fix -diff
-// previews the same rewrites as a unified diff without touching files
-// (CI runs this as a blocking step). Findings with no mechanical fix are
-// still printed and still fail the run. Suppressions require a
-// justification:
+// -sarif writes the findings as a SARIF 2.1.0 log to the given file ("-"
+// for stdout) in addition to the normal output; CI uploads it as a
+// blocking artifact. -fix applies every mechanical rewrite the analyzers
+// propose — the collect-then-sort map-range idiom, stale-directive
+// removal, and the deferred-unlock idiom — through gofmt, and is
+// idempotent: a second run changes nothing. -fix -diff previews the same
+// rewrites as a unified diff without touching files (CI runs this as a
+// blocking step). Findings with no mechanical fix are still printed and
+// still fail the run. Suppressions require a justification:
 //
 //	//simlint:ordered -- <why iteration order is irrelevant>
 //	//simlint:allow <analyzer> -- <why this is safe>
@@ -48,6 +56,7 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
 	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	list := flag.Bool("list", false, "list analyzers and exit")
@@ -55,7 +64,7 @@ func run() int {
 	diff := flag.Bool("diff", false, "with -fix: preview fixes as a unified diff instead of writing files")
 	workers := flag.Int("workers", 0, "package-analysis worker pool size (0 = GOMAXPROCS); output is identical for any value")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-sarif file] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -97,6 +106,21 @@ func run() int {
 	runner := analysis.NewRunner(mod)
 	runner.Workers = *workers
 	findings := runner.Run(analyzers, match)
+
+	if *sarifOut != "" {
+		blob, err := analysis.SARIF(mod.Root, findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		blob = append(blob, '\n')
+		if *sarifOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*sarifOut, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	}
 
 	if *fix {
 		return runFix(cwd, mod, findings, *diff)

@@ -76,6 +76,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerCycleTyping,
 		AnalyzerErrDiscipline,
 		AnalyzerLockOrder,
+		AnalyzerDeterTaint,
+		AnalyzerUndoComplete,
+		AnalyzerDeferUnlock,
 		AnalyzerEnumExhaustive,
 		AnalyzerStaleDirective,
 	}
@@ -225,8 +228,14 @@ type Runner struct {
 	sorters    map[*types.Func][]bool // which slice params a function sorts
 	enumOnce   sync.Once
 	enums      map[*types.TypeName]*enumInfo // iota-enum facts per named type
+	cgOnce     sync.Once
+	cg         *callGraph // module call graph (callgraph.go)
 	lockOnce   sync.Once
 	locks      *lockFacts
+	taintOnce  sync.Once
+	taints     *taintFacts
+	undoOnce   sync.Once
+	undo       *undoFacts
 
 	// lockAcc accumulates cross-package lock-graph edges during the
 	// parallel phase; AnalyzerLockOrder.Finish reads it.
@@ -304,22 +313,37 @@ func (r *Runner) scanDirectives(f *ast.File) {
 						Message: "//simlint:allow needs analyzer names (write //simlint:allow <analyzer> -- <justification>)"})
 					continue
 				}
-				bad := false
+				var unknown []string
 				for _, arg := range fields[1:] {
 					for _, name := range strings.Split(arg, ",") {
 						if name == "" {
 							continue
 						}
 						if _, ok := AnalyzerByName(name); !ok {
-							r.findings = append(r.findings, Finding{Analyzer: "directive", Pos: pos,
-								Message: fmt.Sprintf("//simlint:allow names unknown analyzer %q", name)})
-							bad = true
+							unknown = append(unknown, name)
 						}
 						d.analyzers = append(d.analyzers, name)
 					}
 				}
-				if bad {
+				if len(unknown) == len(d.analyzers) && len(unknown) > 0 {
+					// The directive suppresses only analyzers that no longer
+					// exist (renamed or removed): it is dead weight, reported
+					// with a removal fix rather than silently ignored.
+					r.findings = append(r.findings, Finding{Analyzer: "directive", Pos: pos,
+						Message: fmt.Sprintf("//simlint:allow suppresses only analyzers that no longer exist (%s) — remove the directive", strings.Join(unknown, ", ")),
+						Fix:     removeDirectiveFix(c)})
 					continue
+				}
+				if len(unknown) > 0 {
+					bad := false
+					for _, name := range unknown {
+						r.findings = append(r.findings, Finding{Analyzer: "directive", Pos: pos,
+							Message: fmt.Sprintf("//simlint:allow names unknown analyzer %q", name)})
+						bad = true
+					}
+					if bad {
+						continue
+					}
 				}
 			}
 			if r.directives[pos.Filename] == nil {
@@ -409,6 +433,15 @@ func (r *Runner) Run(analyzers []*Analyzer, match func(*Package) bool) []Finding
 	}
 	sortFindings(out)
 	return out
+}
+
+// removeDirectiveFix deletes a //simlint comment whose every target
+// analyzer has been retired from the suite.
+func removeDirectiveFix(c *ast.Comment) *Fix {
+	return &Fix{
+		Message: "remove //simlint directive naming only retired analyzers",
+		Edits:   []TextEdit{{Pos: c.Pos(), End: c.End(), NewText: ""}},
+	}
 }
 
 // sortFindings orders findings by position, breaking ties by analyzer

@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkSimlintModule is the engine's end-to-end hot path: a fresh
+// Runner per iteration rebuilds the call graph, the lock/taint/undo
+// summaries, and every analyzer pass over the golden module. The
+// committed BENCH_SIMLINT_PR8.json baseline gates it in CI, so summary
+// fixpoints that regress into quadratic behavior fail the build.
+func BenchmarkSimlintModule(b *testing.B) {
+	mod, err := Load(filepath.Join("testdata", "src"))
+	if err != nil {
+		b.Fatalf("load testdata module: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := NewRunner(mod).Run(Analyzers(), nil); len(findings) == 0 {
+			b.Fatal("golden module produced no findings")
+		}
+	}
+}

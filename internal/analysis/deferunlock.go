@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerDeferUnlock mechanizes the deferred-unlock idiom: a function
+// whose body acquires a mutex class exactly once and releases it exactly
+// once, with the release as a plain top-level `x.Unlock()` statement, is
+// rewritten by `simlint -fix` into `x.Lock(); defer x.Unlock()` — the
+// release then also covers panic paths and early returns added later.
+//
+// The rewrite extends the critical section over whatever trails the
+// original Unlock, so it is offered only where that is provably harmless:
+//
+//   - No trailing statement may (transitively) acquire the same class —
+//     proven with the interprocedural lock summaries, so a helper call
+//     that locks three frames down correctly blocks the fix.
+//   - No trailing channel operation, select, sync.* blocking call, or
+//     goroutine spawn: those can block or run concurrently while the lock
+//     is now still held, which the original code did not do.
+//   - No return between Lock and Unlock (the original leaked the lock on
+//     that path; the fix would silently change behavior instead of fixing
+//     the bug — that path deserves a human).
+//   - Calls that cannot be resolved (dynamic function values) are assumed
+//     unsafe.
+//
+// Applying the fix removes the pattern (the release becomes a DeferStmt),
+// so a second -fix run finds nothing: the rewrite is idempotent.
+var AnalyzerDeferUnlock = &Analyzer{
+	Name: "deferunlock",
+	Doc:  "rewrite single Lock/Unlock pairs into the defer idiom where lock summaries prove the extended critical section safe (-fix)",
+	Run:  runDeferUnlock,
+}
+
+func runDeferUnlock(p *Pass) {
+	rel := p.Pkg.Rel()
+	if !hasPathPrefix(rel, "internal") && !hasPathPrefix(rel, "sim") {
+		return
+	}
+	facts := p.runner.lockModel(p.Mod)
+	for _, n := range facts.g.nodes {
+		if n.pkg != p.Pkg {
+			continue
+		}
+		checkDeferUnlock(p, facts, n)
+	}
+}
+
+// lockStmtOp classifies a top-level statement as a mutex operation.
+func lockStmtOp(pkg *Package, stmt ast.Stmt) (class string, op int, call *ast.CallExpr) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", 0, nil
+	}
+	c, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", 0, nil
+	}
+	class, op = lockOp(pkg, c)
+	return class, op, c
+}
+
+// checkDeferUnlock looks for the rewritable pattern in one function body.
+func checkDeferUnlock(p *Pass, facts *lockFacts, n *cgNode) {
+	body := n.body
+	// Count every acquire/release per class in the whole body (nested
+	// blocks included, nested literals excluded): the pattern needs
+	// exactly one of each, which also guarantees a previously applied fix
+	// (a DeferStmt release) blocks re-matching.
+	acquires := make(map[string]int)
+	releases := make(map[string]int)
+	walkShallow(body, func(m ast.Node) {
+		if c, ok := m.(*ast.CallExpr); ok {
+			switch class, op := lockOp(n.pkg, c); op {
+			case lockAcquire:
+				acquires[class]++
+			case lockRelease:
+				releases[class]++
+			}
+		}
+	})
+
+	for i, stmt := range body.List {
+		class, op, lockCall := lockStmtOp(n.pkg, stmt)
+		if op != lockAcquire || acquires[class] != 1 || releases[class] != 1 {
+			continue
+		}
+		lockName := lockCall.Fun.(*ast.SelectorExpr).Sel.Name
+		// Find the matching top-level release after it.
+		relIdx := -1
+		var relCall *ast.CallExpr
+		for j := i + 1; j < len(body.List); j++ {
+			c2, op2, call2 := lockStmtOp(n.pkg, body.List[j])
+			if op2 == lockRelease && c2 == class {
+				if call2.Fun.(*ast.SelectorExpr).Sel.Name == unlockNameFor(lockName) {
+					relIdx, relCall = j, call2
+				}
+				break
+			}
+		}
+		if relIdx < 0 {
+			continue
+		}
+		// The critical section must not return (that path leaks the lock
+		// today; rewriting would change behavior, not report the bug).
+		sectionSafe := true
+		for j := i + 1; j < relIdx && sectionSafe; j++ {
+			walkShallow(wrapBlock(body.List[j]), func(m ast.Node) {
+				if _, ok := m.(*ast.ReturnStmt); ok {
+					sectionSafe = false
+				}
+			})
+		}
+		if !sectionSafe {
+			continue
+		}
+		if !tailSafe(p, facts, n, body.List[relIdx+1:], class) {
+			continue
+		}
+		unlockSrc := exprString(relCall.Fun.(*ast.SelectorExpr).X) + "." + unlockNameFor(lockName) + "()"
+		fix := &Fix{
+			Message: "defer the unlock right after the lock",
+			Edits: []TextEdit{
+				{Pos: stmt.End(), End: stmt.End(), NewText: "\ndefer " + unlockSrc},
+				{Pos: body.List[relIdx].Pos(), End: body.List[relIdx].End(), NewText: ""},
+			},
+		}
+		p.ReportFix(stmt.Pos(), fix,
+			"%s is locked and unlocked exactly once with a plain tail unlock: use `defer %s` right after the Lock so panic paths and future early returns release it (simlint -fix rewrites this)",
+			shortClass(p, class), unlockSrc)
+	}
+}
+
+// unlockNameFor pairs an acquire method with its release.
+func unlockNameFor(lockName string) string {
+	if lockName == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// wrapBlock adapts a single statement to walkShallow's block interface.
+func wrapBlock(s ast.Stmt) *ast.BlockStmt {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return b
+	}
+	return &ast.BlockStmt{List: []ast.Stmt{s}}
+}
+
+// tailSafe proves the statements after the original Unlock tolerate the
+// critical section extending over them.
+func tailSafe(p *Pass, facts *lockFacts, n *cgNode, tail []ast.Stmt, class string) bool {
+	safe := true
+	var scan func(m ast.Node) bool
+	scan = func(m ast.Node) bool {
+		if !safe {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// A literal defined in the tail runs later; all that matters
+			// is whether it can acquire the class.
+			for _, c := range facts.nodeAcquires(facts.g.litNode(m)) {
+				if c == class {
+					safe = false
+				}
+			}
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			safe = false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				safe = false // channel receive can block while we now hold the lock
+			}
+		case *ast.GoStmt:
+			safe = false // the spawned goroutine now races the extended section
+		case *ast.CallExpr:
+			if cls, op := lockOp(n.pkg, m); op != 0 && cls != "" {
+				return true // counted ops; uniqueness already vetted them
+			}
+			safe = callSafeInTail(p, facts, n, m, class) && safe
+		}
+		return safe
+	}
+	for _, s := range tail {
+		if !safe {
+			break
+		}
+		ast.Inspect(s, scan)
+	}
+	return safe
+}
+
+// callSafeInTail reports whether one tail call provably neither
+// re-acquires class nor blocks on concurrency primitives.
+func callSafeInTail(p *Pass, facts *lockFacts, n *cgNode, call *ast.CallExpr, class string) bool {
+	for _, acquired := range facts.acquiresOf(n.pkg, call) {
+		if acquired == class {
+			return false // summary-proven re-acquisition: extending would self-deadlock
+		}
+	}
+	fn := calleeFunc(n.pkg, call)
+	if fn == nil {
+		if tv, ok := n.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // type conversion, not a call
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, builtin := n.pkg.Info.Uses[id].(*types.Builtin); builtin {
+				return true
+			}
+		}
+		return false // dynamic call: cannot prove anything about it
+	}
+	if fn.Pkg() == nil {
+		return true // builtins (len, append, …)
+	}
+	if fn.Pkg().Path() == "sync" {
+		return false // Wait/Cond-style blocking while holding the lock
+	}
+	if len(facts.g.calleesOf(n.pkg, call)) == 0 && isModuleFunc(p.Mod, fn) {
+		return false // module function without a node (no body seen): unknown
+	}
+	return true
+}
+
+// isModuleFunc reports whether fn is declared inside the analyzed module.
+func isModuleFunc(mod *Module, fn *types.Func) bool {
+	return fn.Pkg() != nil && (fn.Pkg().Path() == mod.Path ||
+		len(fn.Pkg().Path()) > len(mod.Path) && fn.Pkg().Path()[:len(mod.Path)+1] == mod.Path+"/")
+}

@@ -13,59 +13,43 @@ import (
 // contract: the same grid must produce byte-identical exports whether it
 // runs serially, on the worker pool, or across processes.
 //
-// Two violation classes are flagged:
+// It flags map-order dependence: `for … range m` where m is a map,
+// anywhere under internal/, sim/, or cmd/. Go randomizes map iteration
+// order, so any such loop that feeds simulation state or user-visible
+// output is a nondeterminism hazard. The analysis is flow-sensitive: a
+// loop that only collects keys/values into local slices is allowed when,
+// on every control path, each collected slice is sorted — by a direct
+// sort.*/slices.* call or by a module helper that (transitively) sorts
+// its argument — before its first order-sensitive use. Re-collecting
+// into an already-sorted slice restarts the obligation. A range that
+// binds neither key nor value (`for range m`) executes an identical body
+// per element and is order-independent by construction, so it is always
+// allowed. Anything else needs //simlint:ordered -- <justification>.
+// Where the loop is a mechanical candidate, the finding carries a
+// `simlint -fix` rewrite into the collect-then-sort idiom.
 //
-//  1. Map-order dependence: `for … range m` where m is a map, anywhere
-//     under internal/, sim/, or cmd/. Go randomizes map iteration order,
-//     so any such loop that feeds simulation state or user-visible output
-//     is a nondeterminism hazard. The analysis is flow-sensitive: a loop
-//     that only collects keys/values into local slices is allowed when,
-//     on every control path, each collected slice is sorted — by a direct
-//     sort.*/slices.* call or by a module helper that (transitively)
-//     sorts its argument — before its first order-sensitive use.
-//     Re-collecting into an already-sorted slice restarts the obligation.
-//     A range that binds neither key nor value (`for range m`) executes
-//     an identical body per element and is order-independent by
-//     construction, so it is always allowed. Anything else needs
-//     //simlint:ordered -- <justification>. Where the loop is a
-//     mechanical candidate, the finding carries a `simlint -fix` rewrite
-//     into the collect-then-sort idiom.
-//
-//  2. Ambient nondeterminism: importing math/rand (or math/rand/v2), or
-//     calling time.Now, under internal/ or sim/. All simulator randomness
-//     must flow through explicitly seeded internal/xrand generators, and
-//     wall-clock reads are reserved for the campaign reporter's ETA
-//     display (annotated //simlint:allow determinism at those sites).
+// Ambient-nondeterminism sources (time.Now, math/rand) are no longer
+// flagged syntactically here: the detertaint analyzer tracks them
+// interprocedurally and reports only flows that actually reach
+// determinism-sensitive sinks (cache keys, span identity, stats), so
+// reporting-only wall-clock reads need no directive at all.
 var AnalyzerDeterminism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag map-order-dependent iteration (flow-sensitively) and ambient randomness (math/rand, time.Now) in simulation and export paths",
+	Doc:  "flag map-order-dependent iteration (flow-sensitively) in simulation and export paths",
 	Run:  runDeterminism,
 }
 
 func runDeterminism(p *Pass) {
 	rel := p.Pkg.Rel()
-	randScope := hasPathPrefix(rel, "internal") || hasPathPrefix(rel, "sim")
-	mapScope := randScope || hasPathPrefix(rel, "cmd") || rel == ""
+	mapScope := hasPathPrefix(rel, "internal") || hasPathPrefix(rel, "sim") ||
+		hasPathPrefix(rel, "cmd") || rel == ""
 	if !mapScope {
 		return
 	}
-	xrandPkg := rel == "internal/xrand"
 
 	for _, f := range p.Pkg.Files {
-		if randScope && !xrandPkg {
-			for _, imp := range f.Imports {
-				switch strings.Trim(imp.Path.Value, `"`) {
-				case "math/rand", "math/rand/v2":
-					p.Reportf(imp.Pos(), "import of %s: simulator randomness must flow through explicitly seeded internal/xrand generators", imp.Path.Value)
-				}
-			}
-		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
-			case *ast.CallExpr:
-				if randScope && isPkgFunc(p, n.Fun, "time", "Now") {
-					p.Reportf(n.Pos(), "time.Now in a simulation package: wall-clock reads are nondeterministic; pass cycle counts (or annotate //simlint:allow determinism for reporting-only code)")
-				}
 			case *ast.FuncDecl:
 				if n.Body != nil {
 					checkMapOrder(p, f, n.Body)

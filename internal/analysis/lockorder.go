@@ -13,15 +13,28 @@ import (
 
 // AnalyzerLockOrder checks the module's mutex discipline across the
 // concurrent layers (internal/campaign, internal/faultinject, the metrics
-// sampler, …) three ways:
+// sampler, …) five ways, using the interprocedural lock summaries from
+// summary.go:
 //
 //   - Lock-order cycles: every (held, acquired) pair observed anywhere in
 //     the module — including acquisitions made transitively through
-//     helper calls — forms a module-wide acquisition graph; a cycle means
-//     two goroutines can deadlock by taking the same locks in opposite
-//     orders. Reported once per cycle from the Finish phase.
+//     helper calls and interface method sets — forms a module-wide
+//     acquisition graph; a cycle means two goroutines can deadlock by
+//     taking the same locks in opposite orders. Reported once per cycle
+//     from the Finish phase.
 //   - Double acquisition: taking a mutex class on a path where the
 //     dataflow says it is already held (self-deadlock for sync.Mutex).
+//   - Callee re-acquisition: calling a function whose summary says it may
+//     (transitively) acquire a class that is provably held at the call
+//     site — the deadlock the intra-procedural pass cannot see.
+//   - Goroutine spawns: a `go func` literal starts with an EMPTY lock
+//     set, whatever the spawner holds, so guarded-field accesses inside a
+//     spawned literal are checked against a provably-unlocked entry state
+//     instead of being silently skipped. And when a class is provably
+//     held at the `go` statement while the spawned function's summary
+//     acquires that same class, the spawn is flagged: the goroutine
+//     blocks on the spawner's lock, which is a latent deadlock if the
+//     spawner ever waits on the goroutine before releasing.
 //   - Guard violations: a field that is written under a struct's mutex
 //     somewhere is treated as guarded by it; any access to that field in
 //     another method of the same struct, on a path where the dataflow
@@ -30,12 +43,13 @@ import (
 //
 // The lock-state lattice per mutex class is {No, Yes, Maybe}; joins of
 // disagreeing paths produce Maybe, and only provable states (Yes for
-// ordering/double-acquire, No for guard violations) are acted on, so
-// conditional locking never produces findings. `defer mu.Unlock()` keeps
-// the class held through the function, matching its runtime semantics.
+// ordering/double-acquire/re-acquisition, No for guard violations) are
+// acted on, so conditional locking never produces findings. `defer
+// mu.Unlock()` keeps the class held through the function, matching its
+// runtime semantics.
 var AnalyzerLockOrder = &Analyzer{
 	Name:   "lockorder",
-	Doc:    "detect lock-order cycles, double acquisition, and mutex-guarded fields accessed where the guard is provably not held",
+	Doc:    "detect lock-order cycles, double/callee re-acquisition, locks held across goroutine spawns, and guarded fields accessed where the guard is provably not held",
 	Run:    runLockOrder,
 	Finish: finishLockOrder,
 }
@@ -47,8 +61,8 @@ const (
 
 // lockFact is the dataflow fact: the state of every interesting mutex
 // class at a program point. Absent classes are No when the entry state is
-// known, and Maybe when it is not (function literals, whose callers'
-// lock state is invisible).
+// known, and Maybe when it is not (function literals invoked on the
+// caller's goroutine, whose lock state is invisible).
 type lockFact struct {
 	reached bool
 	unknown bool
@@ -157,43 +171,62 @@ func positionLess(a, b token.Position) bool {
 	return a.Column < b.Column
 }
 
-// lockFacts is the module-wide lock model: which mutex classes each
-// function may (transitively) acquire, and which struct fields are
-// guarded by which mutex class.
-type lockFacts struct {
-	acquires map[*types.Func]map[string]bool
-	guarded  map[*types.Var]string
-}
-
 func runLockOrder(p *Pass) {
 	rel := p.Pkg.Rel()
 	if !hasPathPrefix(rel, "internal") && !hasPathPrefix(rel, "sim") {
 		return
 	}
 	facts := p.runner.lockModel(p.Mod)
+	g := facts.g
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkLockBody(p, facts, fd.Body, methodEntryClasses(p.Pkg, fd), receiverStruct(p.Pkg, fd), false)
-			// Function literals run with their caller's (unknown) lock
-			// state; analyze each as its own function.
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if fl, ok := n.(*ast.FuncLit); ok {
-					checkLockBody(p, facts, fl.Body, nil, receiverStruct(p.Pkg, fd), true)
-					return false
-				}
-				return true
-			})
+			recv := receiverStruct(p.Pkg, fd)
+			checkLockBody(p, facts, fd.Body, methodEntryClasses(p.Pkg, fd), recv, false)
+			checkNestedLits(p, facts, g, fd.Body, recv)
 		}
 	}
 }
 
+// checkNestedLits analyzes every function literal under body as its own
+// function, recursively. A literal whose every use is a `go` spawn starts
+// on a fresh goroutine with an empty lock set (entry provably unlocked);
+// any other literal runs with its caller's invisible lock state (Maybe).
+func checkNestedLits(p *Pass, facts *lockFacts, g *callGraph, body *ast.BlockStmt, recv *types.Named) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		spawned := litAlwaysSpawned(g, fl)
+		checkLockBody(p, facts, fl.Body, nil, recv, !spawned)
+		checkNestedLits(p, facts, g, fl.Body, recv)
+		return false
+	})
+}
+
+// litAlwaysSpawned reports whether every call-graph edge into the literal
+// is a goroutine spawn (so its entry lock state is provably empty).
+func litAlwaysSpawned(g *callGraph, fl *ast.FuncLit) bool {
+	n := g.litNode(fl)
+	if n == nil || len(n.in) == 0 {
+		return false
+	}
+	for _, e := range n.in {
+		if e.kind != edgeSpawn {
+			return false
+		}
+	}
+	return true
+}
+
 // checkLockBody solves the lock-state dataflow over one function body and
-// reports double acquisitions and guard violations, recording acquisition
-// edges into the module accumulator.
+// reports double acquisitions, callee re-acquisitions, spawn hazards, and
+// guard violations, recording acquisition edges into the module
+// accumulator.
 func checkLockBody(p *Pass, facts *lockFacts, body *ast.BlockStmt, entryHeld []string, recv *types.Named, unknownEntry bool) {
 	g := buildCFG(body)
 	if g == nil {
@@ -252,10 +285,10 @@ func lockTransfer(pkg *Package, n ast.Node, f lockFact) lockFact {
 }
 
 // scanLockNode inspects one CFG node under fact f: records acquisition
-// edges (direct and through callee summaries), reports double
-// acquisitions, and reports guarded-field accesses with the guard
-// provably not held. Function literals are skipped — they are analyzed
-// as their own functions.
+// edges (direct and through callee summaries), reports double and callee
+// re-acquisitions, checks goroutine spawns, and reports guarded-field
+// accesses with the guard provably not held. Function literals are
+// skipped — they are analyzed as their own functions.
 func scanLockNode(p *Pass, facts *lockFacts, recv *types.Named, n ast.Node, f lockFact) {
 	if !f.reached {
 		return
@@ -263,6 +296,9 @@ func scanLockNode(p *Pass, facts *lockFacts, recv *types.Named, n ast.Node, f lo
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			scanGoStmt(p, facts, m, f)
 			return false
 		case *ast.CallExpr:
 			class, op := lockOp(p.Pkg, m)
@@ -278,13 +314,15 @@ func scanLockNode(p *Pass, facts *lockFacts, recv *types.Named, n ast.Node, f lo
 			if op == lockRelease {
 				return true
 			}
-			if fn := calleeFunc(p.Pkg, m); fn != nil {
-				if acq := facts.acquires[fn]; len(acq) > 0 {
-					targets := sortedBoolKeys(acq)
-					for _, held := range f.heldYes() {
-						for _, to := range targets {
-							p.runner.lockAcc.record(held, to, p.Mod.Fset.Position(m.Pos()))
-						}
+			if acq := facts.acquiresOf(p.Pkg, m); len(acq) > 0 {
+				held := f.heldYes()
+				for _, to := range acq {
+					if f.state(to) == lsYes {
+						p.Reportf(m.Pos(), "calling %s, which may (transitively) acquire %s while it is already held on this path (deadlock through callee)",
+							callName(m), shortClass(p, to))
+					}
+					for _, h := range held {
+						p.runner.lockAcc.record(h, to, p.Mod.Fset.Position(m.Pos()))
 					}
 				}
 			}
@@ -304,6 +342,35 @@ func scanLockNode(p *Pass, facts *lockFacts, recv *types.Named, n ast.Node, f lo
 		}
 		return true
 	})
+}
+
+// scanGoStmt checks one `go` statement under fact f: when a class is
+// provably held at the spawn and the spawned function may (transitively)
+// acquire that same class, the spawn is a latent deadlock. Spawned
+// acquisitions of other classes are NOT ordering edges — the goroutine
+// establishes its own acquisition order from an empty lock set.
+func scanGoStmt(p *Pass, facts *lockFacts, g *ast.GoStmt, f lockFact) {
+	held := f.heldYes()
+	if len(held) == 0 {
+		return
+	}
+	var acq []string
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		acq = facts.nodeAcquires(facts.g.litNode(fl))
+	} else {
+		acq = facts.acquiresOf(p.Pkg, g.Call)
+	}
+	for _, c := range acq {
+		if f.state(c) == lsYes {
+			p.Reportf(g.Pos(), "goroutine spawned while %s is held, and the spawned function may (transitively) acquire %s: it blocks until the spawner releases, a latent deadlock if the spawner waits on it; release before spawning",
+				shortClass(p, c), shortClass(p, c))
+		}
+	}
+}
+
+// callName renders a short display name for a call site.
+func callName(call *ast.CallExpr) string {
+	return exprString(call.Fun)
 }
 
 const (
@@ -458,96 +525,6 @@ func sortedBoolKeys(set map[string]bool) []string {
 	}
 	sort.Strings(keys)
 	return keys
-}
-
-// lockModel builds, once per module, the acquisition summaries and the
-// guarded-field map.
-func (r *Runner) lockModel(mod *Module) *lockFacts {
-	r.lockOnce.Do(func() {
-		facts := &lockFacts{
-			acquires: make(map[*types.Func]map[string]bool),
-			guarded:  make(map[*types.Var]string),
-		}
-		type fnDecl struct {
-			pkg  *Package
-			decl *ast.FuncDecl
-			fn   *types.Func
-		}
-		var decls []fnDecl
-		for _, pkg := range mod.Pkgs {
-			for _, f := range pkg.Files {
-				for _, d := range f.Decls {
-					fd, ok := d.(*ast.FuncDecl)
-					if !ok || fd.Body == nil {
-						continue
-					}
-					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-						decls = append(decls, fnDecl{pkg: pkg, decl: fd, fn: fn})
-					}
-				}
-			}
-		}
-
-		// Acquisition summaries: direct Lock/RLock calls, then a fixpoint
-		// folding in callees so edges survive helper indirection.
-		for _, d := range decls {
-			set := make(map[string]bool)
-			ast.Inspect(d.decl.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if class, op := lockOp(d.pkg, call); op == lockAcquire {
-						set[class] = true
-					}
-				}
-				return true
-			})
-			if len(set) > 0 {
-				facts.acquires[d.fn] = set
-			}
-		}
-		for changed := true; changed; {
-			changed = false
-			for _, d := range decls {
-				ast.Inspect(d.decl.Body, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					callee := calleeFunc(d.pkg, call)
-					if callee == nil || callee == d.fn {
-						return true
-					}
-					sub := facts.acquires[callee]
-					if len(sub) == 0 {
-						return true
-					}
-					set := facts.acquires[d.fn]
-					if set == nil {
-						set = make(map[string]bool)
-						facts.acquires[d.fn] = set
-					}
-					for _, c := range sortedBoolKeys(sub) {
-						if !set[c] {
-							set[c] = true
-							changed = true
-						}
-					}
-					return true
-				})
-			}
-		}
-
-		// Guarded fields: a field written at least once while a mutex of
-		// the same struct is provably held, in any method of the struct.
-		for _, d := range decls {
-			recv := receiverStruct(d.pkg, d.decl)
-			if recv == nil || len(structMutexClasses(recv)) == 0 {
-				continue
-			}
-			deriveGuards(d.pkg, d.decl, recv, facts)
-		}
-		r.locks = facts
-	})
-	return r.locks
 }
 
 // deriveGuards runs the lock dataflow over one method and records every

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output: one run, one driver (simlint), one rule per
+// analyzer, one result per finding. The minimal subset here is what the
+// GitHub code-scanning ingester and editor SARIF viewers consume: rule
+// metadata, result message, and a physical location with line/column.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders findings as a SARIF 2.1.0 document. File names are
+// emitted relative to root (typically the module root) with forward
+// slashes, so the log is stable across checkouts.
+func SARIF(root string, findings []Finding) ([]byte, error) {
+	byName := make(map[string]bool)
+	var rules []sarifRule
+	addRule := func(name, doc string) {
+		if byName[name] {
+			return
+		}
+		byName[name] = true
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range Analyzers() {
+		addRule(a.Name, a.Doc)
+	}
+	// The "directive" pseudo-analyzer reports malformed suppressions.
+	addRule("directive", "malformed or retired //simlint suppression directives")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		addRule(f.Analyzer, "")
+		uri := f.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		uri = filepath.ToSlash(uri)
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

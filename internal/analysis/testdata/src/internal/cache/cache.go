@@ -1,0 +1,46 @@
+// Package cache is the undocomplete analyzer's golden input: mutations on
+// the speculative path must pair with restore writes reachable from a
+// cleanup/squash function.
+package cache
+
+// Line is architectural state in the obligation scope.
+type Line struct {
+	Tag      uint64
+	SpecMark bool
+	LRU      uint8
+}
+
+// InstallSpec is a speculative root by name. Tag and SpecMark are
+// restored by CleanupSquash below; LRU is not, and leaks on a squash.
+func InstallSpec(l *Line, tag uint64) {
+	l.Tag = tag
+	l.SpecMark = true
+	l.LRU = 0 // want `speculative-path mutation of cache.Line.LRU has no restore/undo counterpart`
+}
+
+// CleanupSquash restores Tag and SpecMark but forgets LRU.
+func CleanupSquash(l *Line, old uint64) {
+	l.Tag = old
+	l.SpecMark = false
+}
+
+// Seq is a monotone allocation sequence touched on the speculative path.
+type Seq struct{ N uint64 }
+
+// SpecBumpSeq carries a justified exception: the sequence is never
+// rewound, so the obligation is waived by the directive.
+func SpecBumpSeq(s *Seq) {
+	//simlint:allow undocomplete -- monotone allocation sequence; IDs are never reused, so a squash must not rewind it
+	s.N++
+}
+
+// LineStats is excluded from obligations by its Stats suffix: counters
+// are monitoring, not architectural state.
+type LineStats struct {
+	Installs uint64
+}
+
+// SpecCountInstall mutates only the stats carrier: no obligation.
+func SpecCountInstall(st *LineStats) {
+	st.Installs++
+}

@@ -1,11 +1,7 @@
 // Package det is the determinism analyzer's golden input.
 package det
 
-import (
-	"math/rand" // want `import of "math/rand": simulator randomness must flow through explicitly seeded internal/xrand generators`
-	"sort"
-	"time"
-)
+import "sort"
 
 // BadSum iterates a map directly: order-dependent float accumulation.
 func BadSum(m map[string]float64) float64 {
@@ -127,14 +123,4 @@ func BadUnsorted(m map[string]int) []string {
 		keys = append(keys, k)
 	}
 	return keys
-}
-
-// BadClock reads the wall clock inside a simulation package.
-func BadClock() int64 {
-	return time.Now().UnixNano() // want `time.Now in a simulation package`
-}
-
-// BadRand uses global math/rand state.
-func BadRand() int {
-	return rand.Int()
 }

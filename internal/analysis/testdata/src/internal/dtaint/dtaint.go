@@ -1,0 +1,120 @@
+// Package dtaint is the detertaint analyzer's golden input: taint must
+// travel through returns, fields, closures, and sink parameters, and be
+// laundered by sorting — reporting-only wall reads stay silent.
+package dtaint
+
+import (
+	"maps"
+	"math/rand"
+	"slices"
+	"time"
+
+	"example.com/lint/internal/xrand"
+)
+
+// wallSeed returns a wall-clock-derived value; callers inherit the taint
+// through the return summary.
+func wallSeed() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// BadSeedFromClock feeds wall taint into the seed derivation through a
+// helper's return value.
+func BadSeedFromClock() *xrand.Rand {
+	s := wallSeed()
+	return xrand.New(s) // want `value derived from the wall clock \(time.Now\) reaches the xrand.New seed/ID derivation`
+}
+
+// BadDirectRand calls ambient math/rand: reported unconditionally, with
+// no sink required.
+func BadDirectRand() int {
+	return rand.Int() // want `call into math/rand: simulator randomness must flow through explicitly seeded internal/xrand generators`
+}
+
+// carrier persists taint in a struct field written far from the sink.
+type carrier struct{ base uint64 }
+
+// fill stores a wall-derived value into the field.
+func fill(c *carrier) {
+	c.base = wallSeed()
+}
+
+// BadSeedFromField reads the tainted field into the hash sink; the flow
+// crosses two functions and a field.
+func BadSeedFromField(c *carrier) uint64 {
+	fill(c)
+	return xrand.Hash64(c.base) // want `value derived from the wall clock \(time.Now\) reaches the xrand.Hash64 seed/ID derivation`
+}
+
+// deriveID forwards its parameter into the hash: the parameter becomes a
+// sink, so every call site of deriveID is one too.
+func deriveID(x uint64) uint64 {
+	return xrand.Hash64(x)
+}
+
+// BadTransitiveSink reaches the hash through the helper's sink parameter.
+func BadTransitiveSink() uint64 {
+	return deriveID(wallSeed()) // want `value derived from the wall clock \(time.Now\) reaches deriveID, whose parameter feeds a key/ID/stats derivation`
+}
+
+// BadClosureFlow sources and sinks inside a function literal, which has
+// its own call-graph node.
+func BadClosureFlow() uint64 {
+	f := func() uint64 {
+		return xrand.Hash64(wallSeed()) // want `value derived from the wall clock \(time.Now\) reaches the xrand.Hash64 seed/ID derivation`
+	}
+	return f()
+}
+
+// BadIterOrderIntoHash hashes map keys in iterator order: maps.Keys slips
+// past a range-statement check, so the taint engine must catch it.
+func BadIterOrderIntoHash(m map[uint64]int) uint64 {
+	keys := slices.Collect(maps.Keys(m))
+	return xrand.Hash64(keys...) // want `value derived from map iteration order reaches the xrand.Hash64 seed/ID derivation`
+}
+
+// GoodSortedKeys launders iterator order with the blessed idiom before
+// the sink: no finding.
+func GoodSortedKeys(m map[uint64]int) uint64 {
+	keys := slices.Sorted(maps.Keys(m))
+	return xrand.Hash64(keys...)
+}
+
+// GoodStatementSorted launders with a statement-level sort between the
+// collect and the sink: no finding.
+func GoodStatementSorted(m map[uint64]int) uint64 {
+	keys := slices.Collect(maps.Keys(m))
+	slices.Sort(keys)
+	return xrand.Hash64(keys...)
+}
+
+// RunStats accumulates run-level numbers; fields of *Stats structs are
+// determinism sinks for wall and rand taint.
+type RunStats struct {
+	Elapsed uint64
+}
+
+// BadWallIntoStats folds a wall reading into an exported stat: serial and
+// parallel runs would export different numbers.
+func BadWallIntoStats(s *RunStats) {
+	s.Elapsed = wallSeed() // want `value derived from the wall clock \(time.Now\) reaches stats accumulation field RunStats.Elapsed`
+}
+
+// GoodMapCountIntoStats accumulates a commutative total over a map:
+// map-order taint is exempt at stats sinks, so only the determinism
+// directive on the loop is needed.
+func GoodMapCountIntoStats(s *RunStats, m map[uint64]int) {
+	n := uint64(0)
+	//simlint:ordered -- integer summation is commutative; the total is order-independent
+	for k := range m {
+		n += k
+	}
+	s.Elapsed = n
+}
+
+// GoodReportingWall reads the clock for reporting only: there is no sink
+// on the flow, so no finding and no directive needed — this is exactly
+// the case the old syntactic time.Now check over-reported.
+func GoodReportingWall() string {
+	return time.Now().Format(time.RFC3339)
+}

@@ -1,0 +1,81 @@
+// Package dunlock is the deferunlock analyzer's golden input: the plain
+// Lock/Unlock pair is rewritable, and every unsafe tail — a summary-
+// proven re-acquisition, a channel operation, an early return inside the
+// section — blocks the fix.
+package dunlock
+
+import "sync"
+
+// Box holds a guarded value.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadPlainPair is the rewritable pattern: one acquire, one plain
+// top-level release, a safe tail.
+func (b *Box) BadPlainPair() {
+	b.mu.Lock() // want `dunlock.Box.mu is locked and unlocked exactly once with a plain tail unlock`
+	b.n++
+	b.mu.Unlock()
+}
+
+// reacquire takes the lock itself (already in the defer idiom).
+func (b *Box) reacquire() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// indirect forwards to reacquire: the summary must see through it.
+func (b *Box) indirect() {
+	b.reacquire()
+}
+
+// GoodTailReacquires must NOT be rewritten: the interprocedural summary
+// proves the tail call re-acquires Box.mu two frames down, so extending
+// the critical section over it would self-deadlock.
+func (b *Box) GoodTailReacquires() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	b.indirect()
+	return n
+}
+
+// GoodTailSend must not extend the section over a channel send, which
+// can block while the lock would now still be held.
+func (b *Box) GoodTailSend(ch chan int) {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	ch <- n
+}
+
+// GoodEarlyReturn leaks the lock on the negative path today; rewriting
+// would silently change behavior instead of reporting the bug, so the
+// pattern is skipped.
+func (b *Box) GoodEarlyReturn(x int) int {
+	b.mu.Lock()
+	if x < 0 {
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// RBox reads under an RWMutex.
+type RBox struct {
+	mu sync.RWMutex
+	v  uint64
+}
+
+// BadReadPair pairs RLock with RUnlock; the fix must defer the RUnlock,
+// not an Unlock.
+func (r *RBox) BadReadPair() uint64 {
+	r.mu.RLock() // want `dunlock.RBox.mu is locked and unlocked exactly once with a plain tail unlock`
+	n := r.v
+	r.mu.RUnlock()
+	return n
+}

@@ -60,7 +60,7 @@ type B struct{ mu sync.Mutex }
 func AB(a *A, b *B) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	b.mu.Lock() // want `lock-order cycle: lockord.A.mu -> lockord.B.mu -> lockord.A.mu`
+	b.mu.Lock() // want `lock-order cycle: lockord.A.mu -> lockord.B.mu -> lockord.A.mu` // want `lockord.B.mu is locked and unlocked exactly once with a plain tail unlock`
 	b.mu.Unlock()
 }
 
@@ -68,13 +68,13 @@ func AB(a *A, b *B) {
 func BA(a *A, b *B) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	a.mu.Lock()
+	a.mu.Lock() // want `lockord.A.mu is locked and unlocked exactly once with a plain tail unlock`
 	a.mu.Unlock()
 }
 
 // lockB is a helper that acquires B.mu; edges must flow through calls.
 func lockB(b *B) {
-	b.mu.Lock()
+	b.mu.Lock() // want `lockord.B.mu is locked and unlocked exactly once with a plain tail unlock`
 	b.mu.Unlock()
 }
 
@@ -83,4 +83,36 @@ func ABIndirect(a *A, b *B) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	lockB(b)
+}
+
+// addTwice forwards to Add; the reacquisition summary must be transitive.
+func addTwice(c *Counter) {
+	c.Add()
+}
+
+// Reenter calls, with the lock held, a helper whose summary says it
+// re-acquires the same class two frames down.
+func (c *Counter) Reenter() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addTwice(c) // want `calling addTwice, which may \(transitively\) acquire lockord.Counter.mu while it is already held`
+}
+
+// SpawnHeld spawns, with the lock held, a goroutine whose body needs the
+// same lock: it cannot run until the spawner releases.
+func (c *Counter) SpawnHeld() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() { // want `goroutine spawned while lockord.Counter.mu is held, and the spawned function may \(transitively\) acquire lockord.Counter.mu`
+		c.Add()
+	}()
+	c.n++
+}
+
+// SpawnFree spawns the same goroutine with no lock held: no finding, and
+// the literal's own analysis starts from a fresh entry state.
+func (c *Counter) SpawnFree() {
+	go func() {
+		c.Add()
+	}()
 }

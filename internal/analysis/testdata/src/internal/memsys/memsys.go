@@ -1,0 +1,28 @@
+// Package memsys is undocomplete golden input for the marker-based roots
+// and pointer-write semantics: a `spec` parameter anchors the speculative
+// side, and `*p = v` obligates every field of the pointee.
+package memsys
+
+// Entry is scoped architectural state.
+type Entry struct {
+	Valid bool
+	Data  uint64
+}
+
+// fillEntry overwrites the whole entry through a pointer; the spec
+// parameter makes it a speculative root even though its name says
+// nothing. Valid is restored below; Data is not.
+func fillEntry(e *Entry, spec bool, v uint64) {
+	*e = Entry{Valid: true, Data: v} // want `speculative-path mutation of memsys.Entry.Data has no restore/undo counterpart`
+	_ = spec
+}
+
+// Fill is the public face of the speculative fill.
+func Fill(e *Entry, v uint64) {
+	fillEntry(e, true, v)
+}
+
+// RestoreEntry is cleanup-reachable and restores Valid — but not Data.
+func RestoreEntry(e *Entry) {
+	e.Valid = false
+}

@@ -20,5 +20,12 @@ func quiet() int {
 	return 1
 }
 
-// used keeps quiet referenced.
+//simlint:allow timedet -- obsolete: the analyzer it names was retired // want `suppresses only analyzers that no longer exist \(timedet\)`
+func retired() int {
+	return 2
+}
+
+// used keeps quiet and retired referenced.
 var _ = quiet
+
+var _ = retired

@@ -20,10 +20,10 @@ func (c *Cache) AttachMetrics(reg *metrics.Registry, prefix string) {
 // AttachMetrics binds the MSHR's counters and occupancy gauge into reg
 // under the given prefix.
 func (m *MSHR) AttachMetrics(reg *metrics.Registry, prefix string) {
-	reg.BindCounter(prefix+".allocs", &m.Allocs)
-	reg.BindCounter(prefix+".merges", &m.Merges)
-	reg.BindCounter(prefix+".full", &m.Full)
-	reg.BindCounter(prefix+".dropped", &m.Dropped)
-	reg.BindCounter(prefix+".squashes", &m.Squashes)
+	reg.BindCounter(prefix+".allocs", &m.Stats.Allocs)
+	reg.BindCounter(prefix+".merges", &m.Stats.Merges)
+	reg.BindCounter(prefix+".full", &m.Stats.Full)
+	reg.BindCounter(prefix+".dropped", &m.Stats.Dropped)
+	reg.BindCounter(prefix+".squashes", &m.Stats.Squashes)
 	reg.GaugeFunc(prefix+".occupancy", func() float64 { return float64(m.Len()) })
 }

@@ -73,7 +73,14 @@ type MSHR struct {
 	entries map[arch.LineAddr]*MSHREntry
 	zombies int
 
-	// Stats
+	// Stats counts MSHR traffic; AttachMetrics binds every field.
+	Stats MSHRStats
+}
+
+// MSHRStats counts MSHR traffic. Monitoring only: counters are not
+// architectural state, so a squash does not roll them back (squashed
+// allocations still happened and still cost an entry).
+type MSHRStats struct {
 	Allocs   uint64
 	Merges   uint64
 	Full     uint64
@@ -113,16 +120,16 @@ func (m *MSHR) Lookup(line arch.LineAddr) (*MSHREntry, bool) {
 func (m *MSHR) Allocate(line arch.LineAddr, waiter uint64) (e *MSHREntry, merged, ok bool) {
 	if e, exists := m.entries[line]; exists {
 		e.Waiters = append(e.Waiters, waiter)
-		m.Merges++
+		m.Stats.Merges++
 		return e, true, true
 	}
 	if m.FullNow() {
-		m.Full++
+		m.Stats.Full++
 		return nil, false, false
 	}
 	e = &MSHREntry{Line: line, Waiters: []uint64{waiter}}
 	m.entries[line] = e
-	m.Allocs++
+	m.Stats.Allocs++
 	return e, false, true
 }
 
@@ -155,7 +162,7 @@ func (m *MSHR) SquashWaiter(line arch.LineAddr, waiter uint64) bool {
 			e.Waiters = append(e.Waiters[:i], e.Waiters[i+1:]...)
 			if len(e.Waiters) == 0 {
 				e.Squashed = true
-				m.Squashes++
+				m.Stats.Squashes++
 				m.zombies++
 				delete(m.entries, line)
 			}
@@ -181,7 +188,7 @@ func (m *MSHR) SquashEpoch(keep uint8) int {
 			n++
 		}
 	}
-	m.Squashes += uint64(n)
+	m.Stats.Squashes += uint64(n)
 	return n
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/metrics"
 )
 
 func TestMSHRAllocateMergeRelease(t *testing.T) {
@@ -19,7 +20,7 @@ func TestMSHRAllocateMergeRelease(t *testing.T) {
 	if len(e1.Waiters) != 2 {
 		t.Fatalf("waiters %v", e1.Waiters)
 	}
-	if m.Merges != 1 || m.Allocs != 1 {
+	if m.Stats.Merges != 1 || m.Stats.Allocs != 1 {
 		t.Fatalf("stats %+v", *m)
 	}
 	m.Allocate(arch.LineAddr(2), 102)
@@ -29,8 +30,8 @@ func TestMSHRAllocateMergeRelease(t *testing.T) {
 	if _, _, ok := m.Allocate(arch.LineAddr(3), 103); ok {
 		t.Fatal("allocation must fail when full")
 	}
-	if m.Full != 1 {
-		t.Fatalf("full count %d", m.Full)
+	if m.Stats.Full != 1 {
+		t.Fatalf("full count %d", m.Stats.Full)
 	}
 	m.Release(e1)
 	if m.Len() != 1 {
@@ -136,5 +137,28 @@ func TestSEFEStorageBits(t *testing.T) {
 	}
 	if StorageBitsL2 != 16 {
 		t.Fatalf("L2 SEFE bits = %d, want 16 (2 bytes)", StorageBitsL2)
+	}
+}
+
+// TestMSHRStatsBound pins the counter carve-out into MSHRStats: every
+// counter keeps counting through the Stats field and every one stays
+// bound into the registry under its historical name.
+func TestMSHRStatsBound(t *testing.T) {
+	m := NewMSHR("l1", 1)
+	m.Allocate(arch.LineAddr(1), 100)
+	m.Allocate(arch.LineAddr(1), 101) // merge
+	m.Allocate(arch.LineAddr(2), 102) // full
+
+	reg := metrics.NewRegistry()
+	m.AttachMetrics(reg, "l1d.mshr")
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"l1d.mshr.allocs": 1,
+		"l1d.mshr.merges": 1,
+		"l1d.mshr.full":   1,
+	} {
+		if got, ok := snap.Counters[name]; !ok || got != want {
+			t.Errorf("counter %s = %d (present=%v), want %d", name, got, ok, want)
+		}
 	}
 }

@@ -172,8 +172,8 @@ func (e *Engine) lookup(key string) (memoVal, bool) {
 
 func (e *Engine) store(job Job, key string, val memoVal) error {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.memo[key] = val
-	e.mu.Unlock()
 	if e.Cache == nil || e.cacheDown.Load() {
 		return nil
 	}
@@ -339,7 +339,7 @@ func (e *Engine) RunOne(job Job) (res sim.Result, cached bool, err error) {
 }
 
 func (e *Engine) runJob(job Job) JobResult {
-	start := time.Now() //simlint:allow determinism -- JobResult.Elapsed is reporting metadata for the progress line, not part of any result or key
+	start := time.Now()
 	key, kerr := job.Key()
 	if kerr != nil {
 		return JobResult{Job: job, Err: kerr, Elapsed: time.Since(start)}
@@ -449,7 +449,6 @@ func (e *Engine) runJob(job Job) JobResult {
 	}
 	return jr
 }
-
 
 // Run executes jobs on the worker pool and returns their results in job
 // order (independent of scheduling), so aggregation over the returned

@@ -34,7 +34,7 @@ func (r *Reporter) Start(total int) {
 	defer r.mu.Unlock()
 	r.total = total
 	r.done, r.cached, r.failed, r.quarantined = 0, 0, 0, 0
-	r.start = time.Now() //simlint:allow determinism -- wall-clock ETA display on stderr; never feeds results or cache keys
+	r.start = time.Now()
 }
 
 // JobDone records one completion and prints a progress line.

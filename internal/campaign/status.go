@@ -23,6 +23,7 @@ type StatusSnapshot struct {
 // copy rather than live record pointers).
 func (m *Manifest) Status() StatusSnapshot {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	snap := StatusSnapshot{Grid: m.Grid, Total: len(m.Jobs)}
 	snap.Cells = make([]JobRecord, 0, len(m.Jobs))
 	//simlint:ordered -- rows are collected then sorted below; counting is commutative
@@ -39,7 +40,6 @@ func (m *Manifest) Status() StatusSnapshot {
 			snap.Pending++
 		}
 	}
-	m.mu.Unlock()
 	sort.Slice(snap.Cells, func(i, j int) bool {
 		return lessRecord(&snap.Cells[i], &snap.Cells[j])
 	})

@@ -185,7 +185,7 @@ func TestMSHRExhaustionPressure(t *testing.T) {
 	if m.Reg(9) != ref.Reg(9) {
 		t.Fatalf("checksum %d, want %d", m.Reg(9), ref.Reg(9))
 	}
-	if h.L1MSHR(0).Full == 0 {
+	if h.L1MSHR(0).Stats.Full == 0 {
 		t.Fatal("the MSHR was never full; pressure not exercised")
 	}
 }

@@ -144,8 +144,8 @@ func (in *Injector) SetObserver(fn func(Event)) {
 	}
 	s := in.sink()
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.observer = fn
-	s.mu.Unlock()
 }
 
 // sink returns the injector holding the event log: the root of a Child

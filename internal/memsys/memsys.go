@@ -542,6 +542,7 @@ func (h *Hierarchy) SquashLoad(core int, line arch.LineAddr, seq uint64) bool {
 
 // push schedules a transaction completion.
 func (h *Hierarchy) push(t *Txn) {
+	//simlint:allow undocomplete -- monotone tie-break sequence for the pending heap; IDs are never reused, so a squash must not rewind it
 	h.seqGen++
 	t.heapSeq = h.seqGen
 	heap.Push(&h.pending, t)
@@ -578,7 +579,7 @@ func (h *Hierarchy) completePrimary(t *Txn) {
 		// Section 3.3: data returned for a squashed entry is dropped;
 		// no cache state changes at all.
 		h.Stats.DroppedFills++
-		h.l1mshr[t.Core].Dropped++
+		h.l1mshr[t.Core].Stats.Dropped++
 		t.Dropped = true
 		return
 	}
@@ -607,6 +608,7 @@ func (h *Hierarchy) completePrimary(t *Txn) {
 			}
 		}
 	}
+	//simlint:allow undocomplete -- monotone per-core fill sequence used to stamp SEFE LoadIDs; rewinding on squash would let a stale fill alias a live one
 	h.fillSeq[t.Core]++
 	sefe.LoadID = uint8(h.fillSeq[t.Core])
 	t.SEFE = sefe
@@ -831,6 +833,7 @@ func (h *Hierarchy) l2AccessTick() {
 	if h.cfg.L2RemapEvery == 0 || h.l2index == nil {
 		return
 	}
+	//simlint:allow undocomplete -- remap-interval access odometer; squashed accesses still occupied the L2 port, so the count stands
 	h.l2Accesses++
 	if h.l2Accesses%h.cfg.L2RemapEvery != 0 {
 		return

@@ -116,7 +116,7 @@ type Sink struct {
 
 // NewSink returns an empty sink with the default span bound.
 func NewSink() *Sink {
-	return &Sink{base: time.Now()} //simlint:allow determinism -- wall base for span timestamps; durations are reporting-only and stripped from the canonical form
+	return &Sink{base: time.Now()}
 }
 
 // Stats returns a copy of the sink's own counters.
@@ -168,8 +168,8 @@ func (s *Sink) AttachMetrics(reg *metrics.Registry) {
 // started counts one span handout.
 func (s *Sink) started() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.stats.Started++
-	s.mu.Unlock()
 }
 
 // finish retains one completed span (or drops it past the bound).
@@ -179,13 +179,13 @@ func (s *Sink) finish(sp *Span) {
 		maxSpans = DefaultMaxSpans
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.spans) >= maxSpans {
 		s.stats.Dropped++
 	} else {
 		s.stats.Ended++
 		s.spans = append(s.spans, *sp)
 	}
-	s.mu.Unlock()
 }
 
 // Tracer hands out spans bound to one sink. A nil tracer (or a tracer
@@ -227,7 +227,7 @@ func (t *Tracer) Trace(name, key string) *Span {
 		ID:      id,
 		Name:    name,
 		StartNs: int64(time.Since(t.sink.base)),
-		start:   time.Now(), //simlint:allow determinism -- wall stamp for slow-cell reporting; stripped from the canonical span form
+		start:   time.Now(),
 	}
 }
 
@@ -263,7 +263,7 @@ func (sp *Span) Child(name string, attrs ...Attr) *Span {
 		Seq:     seq,
 		Attrs:   attrs,
 		StartNs: int64(time.Since(sp.sink.base)),
-		start:   time.Now(), //simlint:allow determinism -- wall stamp for slow-cell reporting; stripped from the canonical span form
+		start:   time.Now(),
 	}
 }
 
