@@ -1,0 +1,277 @@
+package main
+
+// The distributed-campaign subcommands: `campaign serve` runs the
+// coordinator's HTTP plane (lease protocol + /status + /metrics), and
+// `campaign work` joins as a worker; `campaign gc` and `campaign replay`
+// are the cache-lifecycle and diagnostics halves that round out operating
+// a long-lived shared cache.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/specfuzz"
+)
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("campaign gc", flag.ExitOnError)
+	var (
+		cacheDir     = fs.String("cache", ".campaign", "cache directory")
+		maxAge       = fs.Duration("max-age", 0, "evict entries older than this (0 = no age criterion)")
+		gridName     = fs.String("grid", "", "evict entries not belonging to this grid")
+		workloadsF   = fs.String("workloads", "", "comma-separated workload override (with -grid)")
+		policiesF    = fs.String("policies", "", "comma-separated policy override (with -grid)")
+		seedsF       = fs.String("seeds", "", "seed sweep (with -grid)")
+		instructions = fs.Uint64("instructions", 150_000, "measurement window (with -grid)")
+		dryRun       = fs.Bool("dry-run", false, "report what would be evicted, touch nothing")
+	)
+	fs.Parse(args)
+
+	opts := campaign.GCOptions{MaxAge: *maxAge, DryRun: *dryRun}
+	if *gridName != "" {
+		_, jobs, err := resolveGrid(*gridName, *workloadsF, *policiesF, *seedsF, *instructions)
+		if err != nil {
+			return err
+		}
+		opts.Keep = make(map[string]bool, len(jobs))
+		for _, job := range jobs {
+			key, err := job.Key()
+			if err != nil {
+				return err
+			}
+			opts.Keep[key] = true
+		}
+	}
+	rep, err := campaign.GC(*cacheDir, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("campaign replay", flag.ExitOnError)
+	var (
+		depth    = fs.Int("depth", campaign.ReplayDepth, "replay trace capacity in events")
+		traceOut = fs.String("trace-out", "", "write the replay's full event trace to this file (- = stdout)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: campaign replay [flags] <quarantine-dump.json>")
+	}
+	dump, err := campaign.LoadDump(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	eng := campaign.NewReplayEngine()
+	specfuzz.Register(eng)
+	fmt.Fprintf(os.Stderr, "campaign: replaying %s (originally quarantined: %s)\n", dump.Job, dump.Panic)
+	rep, err := campaign.Replay(eng, dump, *depth)
+	if err != nil {
+		return err
+	}
+	if rep.Reproduced {
+		fmt.Printf("replay: REPRODUCED — %v\n", rep.Result.Err)
+	} else if rep.Result.Err != nil {
+		fmt.Printf("replay: failed differently — %v\n", rep.Result.Err)
+	} else {
+		fmt.Println("replay: clean — the quarantined panic did not reproduce (fixed engine, or nondeterministic fault)")
+	}
+	fmt.Printf("replay: %d event(s) captured at full depth", len(rep.Events))
+	if rep.Dropped > 0 {
+		fmt.Printf(" (%d dropped: cell out-ran the %d-event capacity; raise -depth)", rep.Dropped, *depth)
+	}
+	fmt.Println()
+	if *traceOut != "" {
+		w := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		for _, e := range rep.Events {
+			if _, err := fmt.Fprintln(w, e.String()); err != nil {
+				return err
+			}
+		}
+		if *traceOut != "-" {
+			fmt.Fprintf(os.Stderr, "campaign: wrote %d event(s) to %s\n", len(rep.Events), *traceOut)
+		}
+	}
+	if rep.Reproduced {
+		return fmt.Errorf("quarantined panic reproduced")
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("campaign serve", flag.ExitOnError)
+	var (
+		gridName     = fs.String("grid", "headline", "predefined grid")
+		workloadsF   = fs.String("workloads", "", "comma-separated workload override")
+		policiesF    = fs.String("policies", "", "comma-separated policy override")
+		seedsF       = fs.String("seeds", "", "seed sweep")
+		instructions = fs.Uint64("instructions", 150_000, "committed instructions per measurement window")
+		cacheDir     = fs.String("cache", ".campaign", "shared cache + journal directory")
+		httpAddr     = fs.String("http", ":8080", "listen address")
+		ttl          = fs.Uint64("ttl", fabric.DefaultTTLTicks, "lease lifetime in clock ticks")
+		tick         = fs.Duration("tick", time.Second, "logical clock period")
+		spanOut      = fs.String("span-out", "", "write lease/heartbeat/reclaim spans as JSONL at exit")
+	)
+	fs.Parse(args)
+
+	grid, jobs, err := resolveGrid(*gridName, *workloadsF, *policiesF, *seedsF, *instructions)
+	if err != nil {
+		return err
+	}
+	cells, err := fabric.CellsFromJobs(jobs)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewSink()
+	coord, err := fabric.NewCoordinator(fabric.Config{
+		Grid:     grid.Name,
+		Cells:    cells,
+		CacheDir: *cacheDir,
+		TTLTicks: *ttl,
+		Trace:    obs.NewTracer(sink),
+		Warn:     func(msg string) { fmt.Fprintln(os.Stderr, "campaign: serve:", msg) },
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	reg := metrics.NewRegistry()
+	sink.AttachMetrics(reg)
+	coord.AttachMetrics(reg, "fabric")
+	mux := http.NewServeMux()
+	mux.Handle("/fabric", fabric.Handler(coord))
+	mux.Handle("/status", obs.StatusHandler(func() any { return serveStatus(coord) }))
+	mux.Handle("/metrics", obs.MetricsHandler(reg.Snapshot))
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return fmt.Errorf("campaign: serve: %w", err)
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: serve: http server:", err)
+		}
+	}()
+	pending, _, done, _, _ := coord.Counts()
+	fmt.Fprintf(os.Stderr, "campaign: serving grid %q (%d cell(s), %d already cached) on http://%s\n",
+		grid.Name, len(cells), done, ln.Addr())
+	fmt.Fprintf(os.Stderr, "campaign: workers join with: campaign work -coordinator http://<this-host>%s\n", *httpAddr)
+	_ = pending
+
+	// The coordinator's logical clock: one tick per period; expired leases
+	// re-queue their cells. This loop IS the campaign — when every cell is
+	// settled it ends and the summary prints.
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	for !coord.Settled() {
+		<-ticker.C
+		if n := coord.Tick(); n > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: serve: reclaimed %d expired lease(s)\n", n)
+		}
+	}
+
+	st := coord.Stats()
+	_, _, done, failed, quarantined := coord.Counts()
+	fmt.Fprintf(os.Stderr,
+		"campaign: settled: %d done, %d failed, %d quarantined; %d lease(s) granted, %d expired, %d stale, %d duplicate, %d rejected upload(s), %d remote read(s)\n",
+		done, failed, quarantined, st.Granted, st.Expired, st.StaleCompletes, st.DupCompletes, st.Rejected, st.RemoteReads)
+	if *spanOut != "" {
+		if err := writeSpans(sink, *spanOut, ""); err != nil {
+			return err
+		}
+	}
+	if n := failed + quarantined; n > 0 {
+		return fmt.Errorf("%d of %d cells did not complete", n, len(cells))
+	}
+	return nil
+}
+
+// serveStatus is the /status payload: queue-state counts plus the
+// protocol counters, enough for a dashboard or the CI chaos job to watch
+// convergence.
+func serveStatus(coord *fabric.Coordinator) any {
+	p, l, d, f, q := coord.Counts()
+	return struct {
+		Pending     int          `json:"pending"`
+		Leased      int          `json:"leased"`
+		Done        int          `json:"done"`
+		Failed      int          `json:"failed"`
+		Quarantined int          `json:"quarantined"`
+		Stats       fabric.Stats `json:"stats"`
+	}{p, l, d, f, q, coord.Stats()}
+}
+
+func cmdWork(args []string) error {
+	fs := flag.NewFlagSet("campaign work", flag.ExitOnError)
+	var (
+		coordURL   = fs.String("coordinator", "", "coordinator base URL (required)")
+		cacheDir   = fs.String("cache", ".campaign-worker", "worker-local cache directory")
+		id         = fs.String("id", "", "worker identity (default host-pid)")
+		renewEvery = fs.Duration("renew-every", 5*time.Second, "lease heartbeat period")
+		backoff    = fs.Duration("backoff", 250*time.Millisecond, "base retry/wait backoff")
+		quiet      = fs.Bool("q", false, "suppress progress lines")
+	)
+	fs.Parse(args)
+	if *coordURL == "" {
+		return fmt.Errorf("campaign work: -coordinator is required")
+	}
+	url := strings.TrimSuffix(*coordURL, "/")
+	if !strings.HasSuffix(url, "/fabric") {
+		url += "/fabric"
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	eng := campaign.NewEngine()
+	if !*quiet {
+		eng.Reporter = campaign.NewReporter(os.Stderr)
+	}
+	specfuzz.Register(eng)
+	cache, err := campaign.OpenCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		cache.Warn = func(msg string) { fmt.Fprintln(os.Stderr, "campaign: work: warning:", msg) }
+	}
+	eng.Cache = cache
+
+	w := &fabric.Worker{
+		ID:          *id,
+		Conn:        &fabric.HTTPConn{URL: url},
+		Engine:      eng,
+		WaitBackoff: *backoff,
+		RenewEvery:  *renewEvery,
+	}
+	fmt.Fprintf(os.Stderr, "campaign: worker %s joining %s\n", *id, url)
+	if err := w.Run(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: worker %s done: %d cell(s) simulated, %d served from the shared cache, %d degraded remote read(s)\n",
+		*id, w.CellsRun, w.RemoteHits, w.Degraded)
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/fabric"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -49,6 +50,14 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "fsck":
 		err = cmdFsck(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "work":
+		err = cmdWork(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -71,6 +80,10 @@ func usage() {
   campaign status [flags]   show per-job status from a cache's manifest
   campaign export [flags]   dump every cached result as CSV
   campaign fsck   [flags]   scan a cache for corrupt/orphaned entries
+  campaign gc     [flags]   evict cache entries by age / grid membership
+  campaign replay [flags] <dump>  re-run a quarantined cell, full-depth trace
+  campaign serve  [flags]   coordinate a distributed campaign over HTTP
+  campaign work   [flags]   join a served campaign as a worker
 
 run flags:
   -grid name          predefined grid: %s (default "headline")
@@ -100,8 +113,34 @@ fsck flags:
                       entries in both directions (done rows without a
                       backing entry; entries without a journal row)
 
+gc flags:
+  -cache dir          cache directory (default ".campaign")
+  -max-age dur        evict entries older than this (e.g. 720h)
+  -grid name          evict entries not in this grid (honors -workloads,
+                      -policies, -seeds, -instructions)
+  -dry-run            report what would be evicted, touch nothing
+
+replay flags:
+  -depth N            replay trace capacity in events (default %d)
+  -trace-out file     write the replay's full event trace ("-" = stdout)
+
+serve flags:
+  -grid/-workloads/-policies/-seeds/-instructions   as "run"
+  -cache dir          shared cache + journals (default ".campaign")
+  -http addr          listen address (default ":8080")
+  -ttl N              lease lifetime in ticks (default %d)
+  -tick dur           logical clock period (default 1s)
+  -span-out file      write lease/heartbeat/reclaim spans as JSONL at exit
+
+work flags:
+  -coordinator url    coordinator base URL (required, e.g. http://host:8080)
+  -cache dir          worker-local cache (default ".campaign-worker")
+  -id name            worker identity (default host-pid)
+  -renew-every dur    heartbeat period (default 5s)
+
 policies: %s
-`, strings.Join(campaign.GridNames(), "|"), runtime.GOMAXPROCS(0), policyNames())
+`, strings.Join(campaign.GridNames(), "|"), runtime.GOMAXPROCS(0),
+		campaign.ReplayDepth, fabric.DefaultTTLTicks, policyNames())
 }
 
 func policyNames() string {
@@ -131,31 +170,9 @@ func cmdRun(args []string) error {
 	)
 	fs.Parse(args)
 
-	seeds, err := campaign.ParseSeeds(*seedsF)
+	grid, jobs, err := resolveGrid(*gridName, *workloadsF, *policiesF, *seedsF, *instructions)
 	if err != nil {
 		return err
-	}
-	grid, err := campaign.GridByName(*gridName, *instructions, seeds)
-	if err != nil {
-		return err
-	}
-	if *workloadsF != "" {
-		grid.Workloads = campaign.ParseList(*workloadsF)
-		for _, wl := range grid.Workloads {
-			if _, ok := workloadKnown(wl); !ok {
-				return fmt.Errorf("unknown workload %q (valid: %s)", wl, strings.Join(sim.Workloads(), " "))
-			}
-		}
-	}
-	if *policiesF != "" {
-		grid.Policies = nil
-		for _, p := range campaign.ParseList(*policiesF) {
-			grid.Policies = append(grid.Policies, sim.Policy(p))
-		}
-	}
-	jobs := grid.Jobs()
-	if len(jobs) == 0 {
-		return fmt.Errorf("grid %q expanded to zero jobs", grid.Name)
 	}
 
 	eng := campaign.NewEngine()
@@ -465,6 +482,39 @@ func cmdExport(args []string) error {
 		fmt.Fprintf(os.Stderr, "campaign: exported %d result(s) to %s\n", len(entries), *csvOut)
 	}
 	return nil
+}
+
+// resolveGrid expands a named grid with the CLI's override flags applied
+// — the shared front half of `campaign run`, `campaign serve`, and
+// `campaign gc -grid`.
+func resolveGrid(gridName, workloadsF, policiesF, seedsF string, instructions uint64) (campaign.Grid, []campaign.Job, error) {
+	seeds, err := campaign.ParseSeeds(seedsF)
+	if err != nil {
+		return campaign.Grid{}, nil, err
+	}
+	grid, err := campaign.GridByName(gridName, instructions, seeds)
+	if err != nil {
+		return campaign.Grid{}, nil, err
+	}
+	if workloadsF != "" {
+		grid.Workloads = campaign.ParseList(workloadsF)
+		for _, wl := range grid.Workloads {
+			if _, ok := workloadKnown(wl); !ok {
+				return campaign.Grid{}, nil, fmt.Errorf("unknown workload %q (valid: %s)", wl, strings.Join(sim.Workloads(), " "))
+			}
+		}
+	}
+	if policiesF != "" {
+		grid.Policies = nil
+		for _, p := range campaign.ParseList(policiesF) {
+			grid.Policies = append(grid.Policies, sim.Policy(p))
+		}
+	}
+	jobs := grid.Jobs()
+	if len(jobs) == 0 {
+		return campaign.Grid{}, nil, fmt.Errorf("grid %q expanded to zero jobs", grid.Name)
+	}
+	return grid, jobs, nil
 }
 
 func workloadKnown(name string) (string, bool) {

@@ -12,8 +12,10 @@
 // with restore writes reachable from the cleanup path), deferunlock
 // (single Lock/Unlock pairs rewritable into the defer idiom),
 // enumexhaustive (switches over iota enums cover every constant or
-// declare a default), and staledirective (suppressions that no longer
-// suppress anything).
+// declare a default), wireenc (structs reaching JSON journals or the
+// fabric wire carry no interface-typed content or unordered map keys, so
+// journal rows and protocol messages encode canonically), and
+// staledirective (suppressions that no longer suppress anything).
 //
 // Usage:
 //

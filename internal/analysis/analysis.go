@@ -26,6 +26,11 @@
 //   - enumexhaustive: every switch over an iota-declared enum covers all
 //     of its constants or carries an explicit default — the class of bug
 //     that silently drops a coherence-protocol transition.
+//   - wireenc: structs reaching JSON journals or the fabric wire encode
+//     canonically — no interface-typed content (the dynamic type drifts
+//     across a round-trip) and no map keys outside encoding/json's
+//     sorted-key guarantee — so journal rows, checksummed cache entries,
+//     and protocol messages are byte-stable.
 //   - staledirective: a //simlint suppression that suppresses nothing is
 //     itself a finding (and is auto-removable with -fix).
 //
@@ -80,6 +85,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerUndoComplete,
 		AnalyzerDeferUnlock,
 		AnalyzerEnumExhaustive,
+		AnalyzerWireEnc,
 		AnalyzerStaleDirective,
 	}
 }
@@ -240,6 +246,10 @@ type Runner struct {
 	// lockAcc accumulates cross-package lock-graph edges during the
 	// parallel phase; AnalyzerLockOrder.Finish reads it.
 	lockAcc lockAccumulator
+
+	// wireAcc accumulates JSON serialization sites during the parallel
+	// phase; AnalyzerWireEnc.Finish walks the types they root.
+	wireAcc wireAccumulator
 }
 
 // NewRunner prepares a runner: it scans every loaded file for //simlint

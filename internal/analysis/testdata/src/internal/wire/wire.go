@@ -1,0 +1,55 @@
+// Package wire is the wireenc analyzer's golden input: structs reaching
+// JSON serialization sites must encode canonically.
+package wire
+
+import "encoding/json"
+
+// Row is journaled directly (see Append) — every field is wire-reachable.
+type Row struct {
+	Key string `json:"key"`
+	// Interface content: the dynamic type drifts across a round-trip.
+	Args map[string]any `json:"args,omitempty"` // want `interface-typed content`
+	// Struct-keyed maps have no canonical JSON key order.
+	ByCell map[Cell]uint64 `json:"by_cell,omitempty"` // want `no canonical JSON key order`
+	// Excluded from serialization: never checked.
+	Scratch map[Cell]any `json:"-"`
+	// Reached transitively through a named module struct.
+	Inner Inner `json:"inner"`
+	// String-keyed basics are fine: encoding/json sorts the keys.
+	Summary map[string]float64 `json:"summary,omitempty"`
+	// A custom marshaller is a trusted boundary; the walk stops there.
+	Sorted SortedSet `json:"sorted"`
+}
+
+// Cell is a composite key type with no text encoding.
+type Cell struct {
+	Workload string
+	Seed     uint64
+}
+
+// Inner rides inside Row, so its fields are wire-reachable too.
+type Inner struct {
+	Vals []any `json:"vals"` // want `interface-typed content`
+}
+
+// SortedSet encodes itself canonically; wireenc trusts it.
+type SortedSet struct {
+	members map[string]bool
+}
+
+// MarshalJSON emits a deterministic representation (the member count is
+// enough for the golden input).
+func (s SortedSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(len(s.members))
+}
+
+// Append is the serialization seed that makes Row a wire struct.
+func Append(r Row) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// Load seeds through the decode side as well: a journal reader commits
+// to the same schema its writer did.
+func Load(data []byte, r *Row) error {
+	return json.Unmarshal(data, r)
+}

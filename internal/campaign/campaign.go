@@ -34,7 +34,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/obs"
 	"repro/sim"
 )
 
@@ -169,11 +168,6 @@ type JobResult struct {
 	// a diagnostic dump was written to DumpPath.
 	Quarantined bool
 	DumpPath    string
-
-	// span is the job's open root trace span (nil when the engine has no
-	// tracer). runJob leaves it open so Run can append the journal stage;
-	// Run/RunOne end it on every path (End is idempotent and nil-safe).
-	span *obs.Span
 }
 
 // Failed reports whether the job ultimately failed (after retries).

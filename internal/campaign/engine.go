@@ -74,6 +74,13 @@ type Engine struct {
 	mu    sync.Mutex
 	memo  map[string]memoVal
 	cells map[CellKind]CellFunc
+	// openSpans parks each in-flight job's open root span under its cache
+	// key until the driver (Run / RunJob) collects it with takeSpan. The
+	// side channel exists so runJob can return a JobResult that carries no
+	// wall-clock-derived data at all — spans embed wall stamps, and a
+	// result free of them stays usable in hash/identity derivations
+	// downstream (fabric completion entries) without tripping detertaint.
+	openSpans map[string]*obs.Span
 
 	sims atomic.Int64
 
@@ -237,11 +244,14 @@ func (e *Engine) runAttempt(job Job, cfg sim.Config, faults *faultinject.Injecto
 	return memoVal{res: res}, err
 }
 
-// backoff returns the delay before retry attempt n (1-based) of the job
-// keyed by key: exponential in the attempt with up to 100% jitter, all
-// derived from (key, attempt) through xrand — so two runs of the same
-// campaign back off identically no matter how workers are scheduled.
-func backoff(key string, attempt int, base time.Duration) time.Duration {
+// Backoff returns the delay before retry attempt n (1-based) of the
+// operation keyed by key: exponential in the attempt with up to 100%
+// jitter, all derived from (key, attempt) through xrand — so two runs of
+// the same campaign back off identically no matter how workers are
+// scheduled. The fabric worker reuses it for lease-wait and heartbeat
+// retry pacing, keyed by the worker id, so a fleet of workers hammering
+// one coordinator desynchronizes deterministically.
+func Backoff(key string, attempt int, base time.Duration) time.Duration {
 	if base <= 0 || attempt <= 0 {
 		return 0
 	}
@@ -288,11 +298,12 @@ func QuarantineDir(cacheDir string) string {
 	return filepath.Join(cacheDir, quarantineDirName)
 }
 
-// quarantineDump is the diagnostic record written for a recovered panic:
+// QuarantineDump is the diagnostic record written for a recovered panic:
 // enough to reproduce (job + config), see where the simulation was (last
 // trace events), and what it had counted (partial stats) — without
-// rerunning anything.
-type quarantineDump struct {
+// rerunning anything. `campaign replay` loads one of these and re-runs
+// the job under a full-depth tracer (see Replay).
+type QuarantineDump struct {
 	Job     Job               `json:"job"`
 	Key     string            `json:"key"`
 	Panic   string            `json:"panic"`
@@ -307,7 +318,7 @@ func (e *Engine) writeQuarantineDump(job Job, key string, pe *PanicError, ring *
 	if e.Cache == nil {
 		return ""
 	}
-	dump := quarantineDump{Job: job, Key: key, Panic: pe.Value, Stack: pe.Stack}
+	dump := QuarantineDump{Job: job, Key: key, Panic: pe.Value, Stack: pe.Stack}
 	if ring != nil {
 		dump.Trace = ring.Events()
 	}
@@ -333,16 +344,61 @@ func (e *Engine) writeQuarantineDump(job Job, key string, pe *PanicError, ring *
 // whether the result was served from a cache layer. Failures are retried
 // per the engine's retry policy before being returned.
 func (e *Engine) RunOne(job Job) (res sim.Result, cached bool, err error) {
-	r := e.runJob(job)
-	r.span.End()
+	r := e.RunJob(job)
 	return r.Result, r.Cached, r.Err
 }
 
+// stashSpan parks an in-flight job's open root span for the driver.
+func (e *Engine) stashSpan(key string, sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.openSpans == nil {
+		e.openSpans = make(map[string]*obs.Span)
+	}
+	e.openSpans[key] = sp
+}
+
+// takeSpan collects (and forgets) the open root span runJob parked for
+// key. Nil when the engine has no tracer, or the job never keyed.
+func (e *Engine) takeSpan(key string) *obs.Span {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sp := e.openSpans[key]
+	delete(e.openSpans, key)
+	return sp
+}
+
+// RunJob executes a single job through the memo and cache and returns the
+// full JobResult — including the custom-kind Aux payload, quarantine
+// state, and attempt count that RunOne flattens away. The fabric worker
+// runs leased cells through this entry point so a completion message can
+// carry everything the coordinator journals.
+//
+// The returned result carries no Elapsed measurement and no span handle:
+// keeping wall-clock-derived values out of this value means everything
+// built from it — fabric completion messages, cache entries rebuilt from
+// Result/Aux — stays free of wall taint (detertaint tracks this
+// transitively). Batch callers that want per-job wall cost stamp it
+// themselves, as Run does.
+func (e *Engine) RunJob(job Job) JobResult {
+	r := e.runJob(job)
+	e.takeSpan(r.Key).End()
+	return r
+}
+
+// runJob executes one job. The job's root trace span is deliberately NOT
+// part of the return value — spans carry wall-clock stamps, and a tainted
+// span riding in (or alongside) the result would poison every downstream
+// identity derivation for the taint analysis. It is parked under the
+// job's key instead; the driver collects it with takeSpan, appends its
+// journal stage, and ends it.
 func (e *Engine) runJob(job Job) JobResult {
-	start := time.Now()
 	key, kerr := job.Key()
 	if kerr != nil {
-		return JobResult{Job: job, Err: kerr, Elapsed: time.Since(start)}
+		return JobResult{Job: job, Err: kerr}
 	}
 	// One trace per cell, rooted at the content key: the span tree below
 	// (lease → cache-probe → simulate* → verify) is identical across
@@ -354,13 +410,14 @@ func (e *Engine) runJob(job Job) JobResult {
 	if e.Trace != nil {
 		root = e.Trace.Trace(job.String(), key)
 		root.Child("lease").End()
+		e.stashSpan(key, root)
 	}
 	probe := root.Child("cache-probe")
 	val, hit := e.lookup(key)
 	probe.SetAttr("hit", strconv.FormatBool(hit))
 	probe.End()
 	if hit {
-		return JobResult{Job: job, Key: key, Result: val.res, Aux: val.aux, Cached: true, Elapsed: time.Since(start), span: root}
+		return JobResult{Job: job, Key: key, Result: val.res, Aux: val.aux, Cached: true}
 	}
 	faults := e.Faults.Child(key)
 	var (
@@ -391,7 +448,7 @@ func (e *Engine) runJob(job Job) JobResult {
 					cfg.MaxCycles = e.RetryMaxCycles
 				}
 			}
-			e.pause(backoff(key, attempt, e.Backoff))
+			e.pause(Backoff(key, attempt, e.Backoff))
 		}
 		attempts++
 		e.sims.Add(1)
@@ -420,12 +477,12 @@ func (e *Engine) runJob(job Job) JobResult {
 			// buys nothing and risks a second panic. Quarantine with the
 			// evidence instead.
 			root.SetAttr("quarantined", "true")
-			jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start), Err: err, Quarantined: true, span: root}
+			jr := JobResult{Job: job, Key: key, Attempts: attempts, Err: err, Quarantined: true}
 			jr.DumpPath = e.writeQuarantineDump(job, key, pe, ring, cfg.Metrics)
 			return jr
 		}
 	}
-	jr := JobResult{Job: job, Key: key, Attempts: attempts, Elapsed: time.Since(start), span: root}
+	jr := JobResult{Job: job, Key: key, Attempts: attempts}
 	if err != nil {
 		// Not wrapped with the job name: every consumer (reporter,
 		// manifest, CLI failure listing) prints jr.Job alongside.
@@ -490,17 +547,20 @@ func (e *Engine) Run(jobs []Job) []JobResult {
 				if i >= len(jobs) {
 					return
 				}
+				start := time.Now()
 				jr := e.runJob(jobs[i])
+				sp := e.takeSpan(jr.Key)
+				jr.Elapsed = time.Since(start)
 				results[i] = jr
 				if e.Manifest != nil {
-					jsp := jr.span.Child("journal-append")
+					jsp := sp.Child("journal-append")
 					merr := e.Manifest.Append(jr)
 					jsp.End()
 					if merr != nil && e.Reporter != nil {
 						e.Reporter.Warn(fmt.Sprintf("manifest append failed for %s: %v", jr.Job, merr))
 					}
 				}
-				jr.span.End()
+				sp.End()
 				if e.Reporter != nil {
 					e.Reporter.JobDone(jr)
 				}

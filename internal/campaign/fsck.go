@@ -41,6 +41,12 @@ type FsckReport struct {
 	MissingData []Flaw // done journal rows whose cache entry is absent/unusable
 	Unjournaled []Flaw // verified cache entries with no journal row
 
+	// GCOrphans marks an interrupted eviction: a gc-intent marker is
+	// present (gc crashed between publishing its victim list and deleting
+	// the marker), and these are the marker plus any listed entries still
+	// on disk. Prune finishes the eviction the dead gc started.
+	GCOrphans []Flaw
+
 	Pruned []string // removed by -prune
 }
 
@@ -50,7 +56,8 @@ type FsckReport struct {
 // deep scan.
 func (r *FsckReport) Clean() bool {
 	return len(r.Corrupt) == 0 && len(r.Orphans) == 0 &&
-		len(r.MissingData) == 0 && len(r.Unjournaled) == 0
+		len(r.MissingData) == 0 && len(r.Unjournaled) == 0 &&
+		len(r.GCOrphans) == 0
 }
 
 // String renders the operator-facing summary `campaign fsck` prints.
@@ -80,6 +87,9 @@ func (r *FsckReport) String() string {
 	}
 	for _, f := range r.Unjournaled {
 		fmt.Fprintf(&b, "\n  unjournaled: %s (%s)", f.Path, f.Reason)
+	}
+	for _, f := range r.GCOrphans {
+		fmt.Fprintf(&b, "\n  gc-orphan: %s (%s)", f.Path, f.Reason)
 	}
 	for _, p := range r.Pruned {
 		fmt.Fprintf(&b, "\n  pruned:  %s", p)
@@ -183,6 +193,39 @@ func FsckWith(dir string, opts FsckOptions) (*FsckReport, error) {
 		rep.ManifestDropped = m.Dropped()
 	}
 
+	// An eviction marker means a gc died between publishing its victim
+	// list and retiring the marker. The marker plus every listed entry
+	// still on disk are the gc-race orphans; prune finishes the eviction.
+	var gcVictimKeys []string // listed keys whose entry survives, for prune
+	if data, err := os.ReadFile(GCIntentPath(dir)); err == nil {
+		var intent gcIntent
+		if err := json.Unmarshal(data, &intent); err != nil {
+			rep.GCOrphans = append(rep.GCOrphans, Flaw{
+				Path:   GCIntentPath(dir),
+				Reason: fmt.Sprintf("unparseable gc intent marker: %v", err),
+			})
+		} else {
+			rep.GCOrphans = append(rep.GCOrphans, Flaw{
+				Path:   GCIntentPath(dir),
+				Reason: fmt.Sprintf("interrupted gc (%d cell(s) marked for eviction)", len(intent.Keys)),
+			})
+			for _, key := range intent.Keys {
+				if len(key) < 2 {
+					continue
+				}
+				path := filepath.Join(dir, key[:2], key+".json")
+				if _, err := os.Stat(path); err == nil {
+					rep.GCOrphans = append(rep.GCOrphans, Flaw{
+						Path:   path,
+						Reason: "marked for eviction by an interrupted gc",
+					})
+					gcVictimKeys = append(gcVictimKeys, key)
+				}
+			}
+		}
+		sortFlaws(rep.GCOrphans[1:]) // keep the marker's own flaw first
+	}
+
 	var missingKeys []string // done rows to reset on prune
 	if opts.Deep && manifestOK {
 		for _, key := range sortedKeys(m.Jobs) {
@@ -211,6 +254,9 @@ func FsckWith(dir string, opts FsckOptions) (*FsckReport, error) {
 	}
 
 	if opts.Prune {
+		// GCOrphans last: the marker (its first flaw) must outlive the
+		// listed entries, so a prune interrupted mid-repair is itself
+		// resumable the same way.
 		for _, list := range [][]Flaw{rep.Corrupt, rep.Orphans, rep.Unjournaled} {
 			for _, f := range list {
 				if err := os.Remove(f.Path); err != nil {
@@ -219,10 +265,27 @@ func FsckWith(dir string, opts FsckOptions) (*FsckReport, error) {
 				rep.Pruned = append(rep.Pruned, f.Path)
 			}
 		}
-		if len(missingKeys) > 0 {
+		for i := len(rep.GCOrphans) - 1; i >= 0; i-- {
+			f := rep.GCOrphans[i]
+			if err := os.Remove(f.Path); err != nil && !os.IsNotExist(err) {
+				return rep, fmt.Errorf("campaign: fsck prune: %w", err)
+			}
+			rep.Pruned = append(rep.Pruned, f.Path)
+		}
+		demote := missingKeys
+		if manifestOK {
+			// Evicted cells' done rows lie the same way missing-data rows
+			// do; demote them alongside.
+			for _, key := range gcVictimKeys {
+				if rec, ok := m.Jobs[key]; ok && rec.Status == StatusDone {
+					demote = append(demote, key)
+				}
+			}
+		}
+		if len(demote) > 0 {
 			// A done row with no backing entry lies to resume estimates;
 			// demote it to pending so the cell honestly re-simulates.
-			for _, key := range missingKeys {
+			for _, key := range demote {
 				m.Jobs[key].Status = StatusPending
 				m.Jobs[key].Cached = false
 				rep.Pruned = append(rep.Pruned, "journal:"+key)

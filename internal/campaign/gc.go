@@ -1,0 +1,223 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// gcIntentName is the two-phase eviction marker at the cache root: gc
+// writes it (atomically) before removing any entry, and deletes it after
+// the last removal. A crash mid-eviction therefore leaves the marker
+// behind, and fsck can tell "entry deliberately being evicted" from
+// "entry mysteriously missing" — the gc-race orphans it flags.
+const gcIntentName = "gc-intent.json"
+
+// GCIntentPath returns the eviction marker location for a cache dir.
+func GCIntentPath(cacheDir string) string {
+	return filepath.Join(cacheDir, gcIntentName)
+}
+
+// gcIntent is the marker's contents: the exact keys this gc run intends
+// to remove. Keys, not paths, so the marker stays valid if the cache dir
+// is moved between the crash and the repair.
+type gcIntent struct {
+	Schema int      `json:"schema"`
+	Keys   []string `json:"keys"`
+}
+
+// GCOptions selects which entries an eviction pass removes. At least one
+// criterion must be set; the criteria are a union (an entry matching
+// either is evicted).
+type GCOptions struct {
+	// MaxAge evicts entries whose file is older than this (0 = no age
+	// criterion).
+	MaxAge time.Duration
+	// Keep, when non-nil, is the grid-membership criterion: any verified
+	// entry whose key is NOT in the set is evicted — the "this cache
+	// serves grid X now" cleanup after a grid redefinition.
+	Keep map[string]bool
+	// DryRun reports what would be evicted without touching anything.
+	DryRun bool
+	// Now replaces time.Now in tests (nil = time.Now).
+	Now func() time.Time
+}
+
+// GCReport is the outcome of an eviction pass.
+type GCReport struct {
+	Dir     string
+	Scanned int
+	Kept    int
+	Evicted []Flaw // path + why it was (or would be) evicted
+	Freed   int64  // bytes removed (or, dry-run, removable)
+	Demoted []string
+	DryRun  bool
+}
+
+// String renders the operator-facing summary `campaign gc` prints.
+func (r *GCReport) String() string {
+	var b strings.Builder
+	verb := "evicted"
+	if r.DryRun {
+		verb = "would evict"
+	}
+	fmt.Fprintf(&b, "gc %s: %d entr(ies) scanned, %d kept, %s %d (%.1f KiB)",
+		r.Dir, r.Scanned, r.Kept, verb, len(r.Evicted), float64(r.Freed)/1024)
+	for _, f := range r.Evicted {
+		fmt.Fprintf(&b, "\n  %s: %s (%s)", verb, f.Path, f.Reason)
+	}
+	for _, key := range r.Demoted {
+		fmt.Fprintf(&b, "\n  demoted: journal:%s (done -> pending)", key)
+	}
+	return b.String()
+}
+
+// GC evicts cache entries by age and/or grid membership. The eviction is
+// two-phase — intent marker first, removals second, marker deletion last —
+// so a gc interrupted at any point leaves a cache that fsck can finish
+// repairing instead of a silent half-eviction. Evicted cells' manifest
+// rows are demoted to pending so resume estimates stay honest; the cells
+// simply re-simulate if a future run wants them again.
+func GC(dir string, opts GCOptions) (*GCReport, error) {
+	if opts.MaxAge <= 0 && opts.Keep == nil {
+		return nil, fmt.Errorf("campaign: gc: no eviction criterion (set a max age or a grid)")
+	}
+	if _, err := os.Stat(GCIntentPath(dir)); err == nil {
+		return nil, fmt.Errorf("campaign: gc: %s exists — a previous gc was interrupted; run `campaign fsck -prune` first", GCIntentPath(dir))
+	}
+	now := time.Now
+	if opts.Now != nil {
+		now = opts.Now
+	}
+	cutoff := now().Add(-opts.MaxAge)
+
+	rep := &GCReport{Dir: dir, DryRun: opts.DryRun}
+	type victim struct {
+		key, path string
+		size      int64
+	}
+	var victims []victim
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != dir && d.Name() == quarantineDirName {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// Root files (manifests, journals, markers), temps, and non-JSON
+		// are never gc's business; fsck owns the damaged ones.
+		if filepath.Dir(path) == dir || isTempFile(d.Name()) || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil || e.Key == "" {
+			return nil // corrupt: fsck's department, not an eviction
+		}
+		rep.Scanned++
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		var reason string
+		switch {
+		case opts.MaxAge > 0 && info.ModTime().Before(cutoff):
+			reason = fmt.Sprintf("older than the retention window (written %s)", info.ModTime().UTC().Format(time.RFC3339))
+		case opts.Keep != nil && !opts.Keep[e.Key]:
+			reason = "not a member of the retained grid"
+		default:
+			rep.Kept++
+			return nil
+		}
+		rep.Evicted = append(rep.Evicted, Flaw{Path: path, Reason: reason})
+		rep.Freed += info.Size()
+		victims = append(victims, victim{key: e.Key, path: path, size: info.Size()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: gc: %w", err)
+	}
+	sortFlaws(rep.Evicted)
+	sort.Slice(victims, func(i, j int) bool { return victims[i].path < victims[j].path })
+	if opts.DryRun || len(victims) == 0 {
+		return rep, nil
+	}
+
+	// Phase one: publish intent. From here until the marker is deleted,
+	// any crash leaves a cache fsck recognizes as mid-gc.
+	intent := gcIntent{Schema: SchemaVersion}
+	for _, v := range victims {
+		intent.Keys = append(intent.Keys, v.key)
+	}
+	if err := writeGCIntent(dir, intent); err != nil {
+		return rep, err
+	}
+	// Phase two: remove. A file already gone (a raced fsck -prune, a
+	// parallel gc finishing our work) is success, not failure.
+	for _, v := range victims {
+		if err := os.Remove(v.path); err != nil && !os.IsNotExist(err) {
+			return rep, fmt.Errorf("campaign: gc: %w (marker %s left for fsck)", err, GCIntentPath(dir))
+		}
+	}
+	// Demote the evicted cells' done rows so the manifest keeps telling
+	// the truth about what the cache holds.
+	if m, ok := LoadManifest(dir); ok {
+		changed := false
+		for _, v := range victims {
+			if rec, ok := m.Jobs[v.key]; ok && rec.Status == StatusDone {
+				rec.Status = StatusPending
+				rec.Cached = false
+				rep.Demoted = append(rep.Demoted, v.key)
+				changed = true
+			}
+		}
+		if changed {
+			if err := m.Save(); err != nil {
+				return rep, fmt.Errorf("campaign: gc: %w", err)
+			}
+		}
+	}
+	// Phase three: the eviction is complete; retire the marker.
+	if err := os.Remove(GCIntentPath(dir)); err != nil {
+		return rep, fmt.Errorf("campaign: gc: removing intent marker: %w", err)
+	}
+	return rep, nil
+}
+
+// writeGCIntent writes the marker atomically (temp + rename), so fsck
+// never sees a torn intent list.
+func writeGCIntent(dir string, intent gcIntent) error {
+	data, err := json.MarshalIndent(intent, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: gc: encoding intent: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".gc-intent.tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: gc: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: gc: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: gc: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), GCIntentPath(dir)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: gc: %w", err)
+	}
+	return nil
+}

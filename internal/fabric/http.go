@@ -1,0 +1,90 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxMsgBytes bounds one protocol message on the wire. A completion
+// carries one cache entry (a few KB of JSON); 16 MiB is three orders of
+// magnitude of headroom while still refusing a runaway body.
+const maxMsgBytes = 16 << 20
+
+// Handler serves the fabric protocol over HTTP: POST one Msg as JSON,
+// receive the reply Msg as JSON. `campaign serve` mounts it at /fabric on
+// the same plane as /status and /metrics. Malformed bodies get a nack
+// with HTTP 200 — transport-level success, protocol-level refusal — so a
+// worker behind a mangling proxy retries instead of special-casing
+// status codes.
+func Handler(c *Coordinator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "fabric endpoint accepts POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxMsgBytes))
+		if err != nil {
+			writeMsg(w, Msg{Type: MsgNack, Reason: "reading request: " + err.Error()})
+			return
+		}
+		var m Msg
+		if err := json.Unmarshal(body, &m); err != nil {
+			writeMsg(w, Msg{Type: MsgNack, Reason: "parsing request: " + err.Error()})
+			return
+		}
+		writeMsg(w, c.Handle(m))
+	})
+}
+
+// writeMsg encodes one reply.
+func writeMsg(w http.ResponseWriter, m Msg) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(m); err != nil {
+		// Headers are gone; the worker sees a short read and retries.
+		_ = err
+	}
+}
+
+// HTTPConn reaches a coordinator's /fabric endpoint: the transport
+// `campaign work` uses. Any transport error — refused connection, reset,
+// short body, non-JSON reply — surfaces as a Do error, which the worker
+// treats as a lost message and retries with backoff.
+type HTTPConn struct {
+	// URL is the coordinator's fabric endpoint
+	// (e.g. http://host:8080/fabric).
+	URL string
+	// Client is the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// Do POSTs m and decodes the reply.
+func (c *HTTPConn) Do(m Msg) (Msg, error) {
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return Msg{}, fmt.Errorf("fabric: encoding %s: %w", m.Type, err)
+	}
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(c.URL, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return Msg{}, fmt.Errorf("fabric: %s: %w", m.Type, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxMsgBytes))
+	if err != nil {
+		return Msg{}, fmt.Errorf("fabric: reading %s reply: %w", m.Type, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Msg{}, fmt.Errorf("fabric: %s: HTTP %d: %s", m.Type, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var reply Msg
+	if err := json.Unmarshal(body, &reply); err != nil {
+		return Msg{}, fmt.Errorf("fabric: parsing %s reply: %w", m.Type, err)
+	}
+	return reply, nil
+}

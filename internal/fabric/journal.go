@@ -1,0 +1,264 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/faultinject"
+)
+
+// Lease lifecycle operations journaled to fabric.jsonl.
+const (
+	OpLease    = "lease"
+	OpRenew    = "renew"
+	OpComplete = "complete"
+	OpExpire   = "expire"
+)
+
+// LeaseRow is one lease lifecycle event: a single appended JSONL line.
+// Every field is a scalar, so the encoding is deterministic (wireenc).
+type LeaseRow struct {
+	Op     string `json:"op"`
+	Key    string `json:"key"`
+	Worker string `json:"worker,omitempty"`
+	Lease  uint64 `json:"lease"`
+	// Tick is the coordinator's logical clock when the event happened.
+	Tick uint64 `json:"tick"`
+	// ExpiryTick is when the lease dies unless renewed (lease/renew rows).
+	ExpiryTick uint64 `json:"expiry_tick,omitempty"`
+	// Status is the cell outcome (complete rows).
+	Status string `json:"status,omitempty"`
+}
+
+// leaseHeader is the journal's first line.
+type leaseHeader struct {
+	Fabric int    `json:"fabric"` // journal format version
+	Grid   string `json:"grid"`
+	Schema int    `json:"schema"`
+}
+
+// LeaseLogPath returns the lease journal location for a cache dir — next
+// to manifest.jsonl, sharing its crash-tolerance story.
+func LeaseLogPath(cacheDir string) string {
+	return filepath.Join(cacheDir, "fabric.jsonl")
+}
+
+// LeaseLog is the coordinator's append-only lease journal. Like the
+// campaign manifest it is crash-tolerant by construction: every event is
+// one O_APPEND line, a coordinator killed mid-write tears at most the
+// final line (dropped and counted on load), and the first append after a
+// torn tail self-heals it with a newline so the fragment stays one
+// droppable line.
+//
+// The journal is an audit trail and a restart accelerator, never the
+// source of truth: on restart the coordinator rebuilds cell states by
+// probing the verified cache, and uses the journal's completed set only
+// for cross-checking and for its dup/stale counters. A lease row with no
+// matching complete is exactly the SIGKILL'd-worker signature — the cell
+// simply gets re-leased.
+type LeaseLog struct {
+	// Faults injects append faults for chaos tests (nil = disabled). The
+	// lease journal shares the manifest's append fault site: both are
+	// single-line JSONL appends with identical torn-write semantics.
+	Faults *faultinject.Injector
+
+	mu           sync.Mutex
+	grid         string
+	path         string
+	journal      *os.File
+	dropped      int // torn lines discarded during load
+	dupCompletes int // repeat complete rows for an already-completed key
+
+	open      map[string]LeaseRow // live leases by key (replayed state)
+	completed map[string]string   // key → status, first complete wins
+}
+
+// OpenLeaseLog opens (creating if needed) the lease journal for a cache
+// dir, replaying any existing rows. Torn lines are dropped and counted; a
+// duplicated complete — the stale-lease double-completion race, or a
+// crash between accept and append — is counted and otherwise ignored, so
+// a journal bearing either scar loads clean and the campaign resumes.
+func OpenLeaseLog(cacheDir, grid string) (*LeaseLog, error) {
+	l := &LeaseLog{
+		grid:      grid,
+		path:      LeaseLogPath(cacheDir),
+		open:      make(map[string]LeaseRow),
+		completed: make(map[string]string),
+	}
+	data, err := os.ReadFile(l.path)
+	if os.IsNotExist(err) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fabric: reading lease journal: %w", err)
+	}
+	sawHeader := false
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if !sawHeader {
+			var h leaseHeader
+			if json.Unmarshal(line, &h) != nil || h.Fabric == 0 {
+				// Header torn or foreign: restart the journal. The cache is
+				// the source of truth, so nothing is lost but counters.
+				l.dropped++
+			} else {
+				l.grid = h.Grid
+			}
+			sawHeader = true
+			continue
+		}
+		var row LeaseRow
+		if json.Unmarshal(line, &row) != nil || row.Op == "" || row.Key == "" {
+			l.dropped++
+			continue
+		}
+		l.replayLocked(row)
+	}
+	return l, nil
+}
+
+// replayLocked folds one row into the in-memory lease state. Caller holds
+// l.mu (or is still single-threaded in OpenLeaseLog).
+func (l *LeaseLog) replayLocked(row LeaseRow) {
+	switch row.Op {
+	case OpLease, OpRenew:
+		l.open[row.Key] = row
+	case OpComplete:
+		if _, done := l.completed[row.Key]; done {
+			l.dupCompletes++
+			return // first complete wins; the repeat is the stale twin
+		}
+		l.completed[row.Key] = row.Status
+		delete(l.open, row.Key)
+	case OpExpire:
+		delete(l.open, row.Key)
+	default:
+		l.dropped++ // unknown op from a future format: droppable, not fatal
+	}
+}
+
+// Append journals one lease event — a single O_APPEND write, so a crash
+// tears at most the final line. The in-memory state is updated even when
+// the write fails: the journal is advisory, the coordinator's queue is
+// authoritative.
+func (l *LeaseLog) Append(row LeaseRow) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.replayLocked(row)
+	line, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("fabric: encoding lease row: %w", err)
+	}
+	line = append(line, '\n')
+	switch l.Faults.Check(faultinject.SiteManifestAppend) {
+	case faultinject.KindError:
+		return fmt.Errorf("fabric: lease journal append: %w", faultinject.ErrInjected)
+	case faultinject.KindTruncate:
+		// Simulated mid-append kill: half a line, no newline. Load must
+		// drop it; the next append must self-heal the tail.
+		line = line[:len(line)/2]
+	default:
+		// KindNone and kinds scheduled for other sites: append proceeds.
+	}
+	if err := l.appendLocked(line); err != nil {
+		return fmt.Errorf("fabric: lease journal append: %w", err)
+	}
+	return nil
+}
+
+// appendLocked writes one raw line, lazily opening the journal, writing
+// the header when the file is new, and healing a torn tail left by a
+// previous crash. Caller holds l.mu.
+func (l *LeaseLog) appendLocked(line []byte) error {
+	if l.journal == nil {
+		st, statErr := os.Stat(l.path)
+		fresh := statErr != nil || st.Size() == 0
+		f, err := os.OpenFile(l.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.journal = f
+		if fresh {
+			hdr, err := json.Marshal(leaseHeader{Fabric: 1, Grid: l.grid, Schema: campaign.SchemaVersion})
+			if err != nil {
+				return err
+			}
+			if _, err := l.journal.Write(append(hdr, '\n')); err != nil {
+				return err
+			}
+		} else if st != nil && st.Size() > 0 {
+			// Terminate a torn final fragment so it stays one droppable
+			// line instead of swallowing the row appended after it.
+			var last [1]byte
+			if _, err := f.ReadAt(last[:], st.Size()-1); err == nil && last[0] != '\n' {
+				if _, err := l.journal.Write([]byte{'\n'}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := l.journal.Write(line)
+	return err
+}
+
+// Close releases the journal handle.
+func (l *LeaseLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.journal == nil {
+		return nil
+	}
+	err := l.journal.Close()
+	l.journal = nil
+	return err
+}
+
+// Dropped returns how many torn or foreign lines load and replay dropped.
+func (l *LeaseLog) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// DupCompletes returns how many repeat complete rows were replayed — the
+// on-disk residue of stale-lease double completions.
+func (l *LeaseLog) DupCompletes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dupCompletes
+}
+
+// OpenLeases returns the replayed live leases (keys with a lease/renew row
+// and no complete/expire): after a coordinator crash, these are the cells
+// whose workers may still be running — or may be gone. Either way they
+// re-queue; a stale worker's eventual completion is accepted harmlessly.
+func (l *LeaseLog) OpenLeases() []LeaseRow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rows := make([]LeaseRow, 0, len(l.open))
+	for _, row := range l.open {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows
+}
+
+// Completed returns the replayed key → status completion map.
+func (l *LeaseLog) Completed() map[string]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]string, len(l.completed))
+	//simlint:ordered -- map-to-map copy; the result's shape is order-free
+	for k, v := range l.completed {
+		out[k] = v
+	}
+	return out
+}

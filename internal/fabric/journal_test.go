@@ -1,0 +1,178 @@
+package fabric
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestLeaseJournalRoundTrip pins the basic replay contract: rows appended
+// in one life are the open/completed state of the next.
+func TestLeaseJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLeaseLog(dir, "grid-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []LeaseRow{
+		{Op: OpLease, Key: "aa11", Worker: "w1", Lease: 1, Tick: 0, ExpiryTick: 30},
+		{Op: OpLease, Key: "bb22", Worker: "w2", Lease: 2, Tick: 0, ExpiryTick: 30},
+		{Op: OpRenew, Key: "aa11", Worker: "w1", Lease: 1, Tick: 10, ExpiryTick: 40},
+		{Op: OpComplete, Key: "bb22", Worker: "w2", Lease: 2, Tick: 12, Status: "done"},
+		{Op: OpExpire, Key: "aa11", Lease: 1, Tick: 41},
+	}
+	for _, r := range rows {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLeaseLog(dir, "ignored-when-header-exists")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Dropped(); got != 0 {
+		t.Errorf("clean journal dropped %d lines", got)
+	}
+	if open := l2.OpenLeases(); len(open) != 0 {
+		t.Errorf("open leases after expire+complete: %+v", open)
+	}
+	if done := l2.Completed(); len(done) != 1 || done["bb22"] != "done" {
+		t.Errorf("completed = %+v, want bb22:done", done)
+	}
+}
+
+// TestLeaseJournalTornTailSelfHeals is the SIGKILL'd-coordinator scar: a
+// half-written final line must (a) load as exactly one dropped line with
+// every earlier row intact, and (b) be terminated by the next append so
+// the fragment never swallows a healthy row.
+func TestLeaseJournalTornTailSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLeaseLog(dir, "grid-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(LeaseRow{Op: OpLease, Key: "aa11", Worker: "w1", Lease: 1, ExpiryTick: 30}); err != nil {
+		t.Fatal(err)
+	}
+	// Injected mid-append kill: half a line, no trailing newline.
+	l.Faults = faultinject.Plan("torn-tail").Schedule(faultinject.SiteManifestAppend, faultinject.KindTruncate, 1)
+	if err := l.Append(LeaseRow{Op: OpComplete, Key: "aa11", Worker: "w1", Lease: 1, Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(LeaseLogPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasSuffix(raw, []byte{'\n'}) {
+		t.Fatal("test setup: journal tail is not torn")
+	}
+
+	// Load: the fragment is one dropped line, the lease row survives. The
+	// complete was lost with the crash, so the lease reads as still open —
+	// exactly the signature that re-queues the cell.
+	l2, err := OpenLeaseLog(dir, "grid-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Dropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1 (the torn fragment)", got)
+	}
+	open := l2.OpenLeases()
+	if len(open) != 1 || open[0].Key != "aa11" {
+		t.Fatalf("open leases = %+v, want the surviving lease row", open)
+	}
+
+	// Resume: the next append must first terminate the fragment, so the
+	// journal parses as fragment (dropped) + new row, not one merged line.
+	if err := l2.Append(LeaseRow{Op: OpComplete, Key: "aa11", Worker: "w2", Lease: 2, Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := OpenLeaseLog(dir, "grid-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l3.Dropped(); got != 1 {
+		t.Errorf("after self-heal: dropped = %d, want 1", got)
+	}
+	if done := l3.Completed(); done["aa11"] != "done" {
+		t.Errorf("completion appended after the torn tail was lost: %+v", done)
+	}
+	if open := l3.OpenLeases(); len(open) != 0 {
+		t.Errorf("open leases after healed completion: %+v", open)
+	}
+}
+
+// TestLeaseJournalDoubleComplete pins the stale-lease double-completion
+// residue: two complete rows for one key must load with the first status
+// winning and the repeat counted, never an error.
+func TestLeaseJournalDoubleComplete(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLeaseLog(dir, "grid-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []LeaseRow{
+		{Op: OpLease, Key: "aa11", Worker: "w1", Lease: 1, ExpiryTick: 30},
+		{Op: OpComplete, Key: "aa11", Worker: "w1", Lease: 1, Status: "done"},
+		{Op: OpComplete, Key: "aa11", Worker: "w2", Lease: 2, Status: "failed"},
+	} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLeaseLog(dir, "grid-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.DupCompletes(); got != 1 {
+		t.Errorf("dupCompletes = %d, want 1", got)
+	}
+	if done := l2.Completed(); done["aa11"] != "done" {
+		t.Errorf("completed status = %q, want the first writer's %q", done["aa11"], "done")
+	}
+	if got := l2.Dropped(); got != 0 {
+		t.Errorf("dropped = %d, want 0 (a dup is not a torn line)", got)
+	}
+}
+
+// TestLeaseJournalForeignLines: a torn header or garbage rows degrade to
+// dropped-line counts, never a load failure.
+func TestLeaseJournalForeignLines(t *testing.T) {
+	dir := t.TempDir()
+	blob := strings.Join([]string{
+		`{"fabric":1,"grid":"g","schema":4}`,
+		`{"op":"lease","key":"aa11","worker":"w1","lease":1,"tick":0,"expiry_tick":30}`,
+		`not json at all`,
+		`{"op":"wormhole","key":"bb22","lease":9,"tick":0}`,
+	}, "\n") + "\n"
+	if err := os.WriteFile(LeaseLogPath(dir), []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLeaseLog(dir, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2 (garbage line + unknown op)", got)
+	}
+	if open := l.OpenLeases(); len(open) != 1 || open[0].Key != "aa11" {
+		t.Errorf("open = %+v, want the one valid lease", open)
+	}
+}

@@ -1,0 +1,162 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/sim"
+)
+
+// TestMain doubles as the worker-process entry point: when the coordinator
+// URL env var is set, this test binary is a `campaign work`-style worker
+// child for TestWorkerSIGKILLRecovery, not a test run.
+func TestMain(m *testing.M) {
+	if os.Getenv("FABRIC_TEST_COORD_URL") != "" {
+		os.Exit(runWorkerChild())
+	}
+	os.Exit(m.Run())
+}
+
+// runWorkerChild runs one HTTP worker until the coordinator shuts the
+// campaign down (or the parent kills us — the point of the exercise).
+func runWorkerChild() int {
+	eng := campaign.NewEngine()
+	eng.Reporter = campaign.NewReporter(io.Discard)
+	cache, err := campaign.OpenCache(os.Getenv("FABRIC_TEST_CACHE"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	eng.Cache = cache
+	w := &Worker{
+		ID:          os.Getenv("FABRIC_TEST_WORKER_ID"),
+		Conn:        &HTTPConn{URL: os.Getenv("FABRIC_TEST_COORD_URL")},
+		Engine:      eng,
+		WaitBackoff: 5 * time.Millisecond,
+		RenewEvery:  25 * time.Millisecond,
+	}
+	if err := w.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// spawnWorker re-execs this test binary as an HTTP worker child.
+func spawnWorker(t *testing.T, url, id string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"FABRIC_TEST_COORD_URL="+url,
+		"FABRIC_TEST_WORKER_ID="+id,
+		"FABRIC_TEST_CACHE="+t.TempDir(),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// TestWorkerSIGKILLRecovery is the cross-process half of the SIGKILL
+// guarantee: a real worker process holding a real lease over real HTTP is
+// killed with SIGKILL (no cleanup, no goodbye), and the campaign still
+// settles — the lease expires on the coordinator's clock, the cell
+// re-queues, and a surviving worker finishes the work.
+func TestWorkerSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and multi-second simulations")
+	}
+	// Cells long enough (~0.5s each) that the doomed worker is reliably
+	// mid-simulation when the signal lands.
+	jobs := []campaign.Job{
+		{Workload: "gcc", Config: sim.Config{Policy: sim.CleanupSpec, Instructions: 400_000, Seed: 1}},
+		{Workload: "gcc", Config: sim.Config{Policy: sim.NonSecure, Instructions: 400_000, Seed: 1}},
+		{Workload: "lbm", Config: sim.Config{Policy: sim.CleanupSpec, Instructions: 400_000, Seed: 2}},
+	}
+	cells, err := CellsFromJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(Config{Grid: "sigkill", Cells: cells, CacheDir: t.TempDir(), TTLTicks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	// The coordinator's clock: 20ms ticks, so a 10-tick lease reclaims
+	// ~200ms after the holder goes dark (heartbeats renew every 25ms).
+	stopClock := make(chan struct{})
+	defer close(stopClock)
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopClock:
+				return
+			case <-tick.C:
+				c.Tick()
+			}
+		}
+	}()
+
+	doomed := spawnWorker(t, srv.URL, "doomed")
+	// Wait until the doomed worker actually holds a lease...
+	for i := 0; ; i++ {
+		if _, leased, _, _, _ := c.Counts(); leased >= 1 {
+			break
+		}
+		if i > 500 {
+			t.Fatal("doomed worker never acquired a lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// ...then kill it dead. SIGKILL: no deferred cleanup runs, the lease
+	// is simply abandoned.
+	if err := doomed.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	doomed.Wait()
+
+	survivor := spawnWorker(t, srv.URL, "survivor")
+	done := make(chan error, 1)
+	go func() { done <- survivor.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("survivor exited with %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		survivor.Process.Kill()
+		t.Fatal("campaign did not settle within 60s of the kill")
+	}
+
+	if !c.Settled() {
+		t.Fatal("survivor shut down but the coordinator is not settled")
+	}
+	_, _, settled, failed, quarantined := c.Counts()
+	if settled != len(cells) || failed != 0 || quarantined != 0 {
+		t.Fatalf("counts: done=%d failed=%d quarantined=%d, want %d/0/0", settled, failed, quarantined, len(cells))
+	}
+	st := c.Stats()
+	if st.Expired == 0 {
+		t.Error("the killed worker's lease never expired — the kill missed its window")
+	}
+	// Every cell's entry is present and verifies: the shared namespace
+	// survived the kill with zero lost work.
+	for _, cell := range cells {
+		e, ok := c.Cache().Get(cell.Key)
+		if !ok || !e.Verify() {
+			t.Errorf("cell %s: entry missing or unverifiable after recovery", cell.Key)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package fabric
+
+import "repro/internal/campaign"
+
+// MsgType tags a fabric protocol message.
+type MsgType string
+
+// Request types (worker → coordinator) and reply types (coordinator →
+// worker). The protocol is strict request/reply over Conn.Do; every
+// request is idempotent, because the transport is allowed to lose
+// responses, duplicate deliveries, and replay stale requests (see
+// FaultConn), and the worker's only recovery is to send again.
+const (
+	// MsgLeaseReq asks for work. Replies: MsgGrant (a cell and a lease),
+	// MsgWait (nothing leasable right now, ask again), MsgShutdown (the
+	// campaign is settled, exit).
+	MsgLeaseReq MsgType = "lease-req"
+	MsgGrant    MsgType = "grant"
+	MsgWait     MsgType = "wait"
+	MsgShutdown MsgType = "shutdown"
+
+	// MsgRenew is the heartbeat: it extends a live lease's expiry.
+	// Replies: MsgRenewAck, or MsgNack when the lease has already been
+	// reclaimed (the worker keeps simulating — its eventual completion is
+	// still content-valid, just stale).
+	MsgRenew    MsgType = "renew"
+	MsgRenewAck MsgType = "renew-ack"
+
+	// MsgComplete reports a finished cell, carrying the checksummed cache
+	// entry for successes. Replies: MsgCompleteAck (possibly flagged
+	// Stale), or MsgNack when the payload fails verification — the worker
+	// rebuilds the entry from its local cache and retries.
+	MsgComplete    MsgType = "complete"
+	MsgCompleteAck MsgType = "complete-ack"
+
+	// MsgEntryReq asks the coordinator for another worker's cached entry
+	// (the shared-namespace read path). Replies: MsgEntry on a hit,
+	// MsgNack on a miss — the worker then simulates locally.
+	MsgEntryReq MsgType = "entry-req"
+	MsgEntry    MsgType = "entry"
+
+	// MsgNack is the generic refusal; Reason says why. Never fatal to the
+	// worker: every nack has a local fallback (retry, rebuild, simulate).
+	MsgNack MsgType = "nack"
+)
+
+// Msg is the single wire envelope for every fabric exchange. One flat
+// struct instead of a per-type hierarchy keeps the codec trivial and the
+// JSON encoding deterministic: every field is a scalar, a pointer to a
+// struct of scalars, or pre-canonicalized JSON — no map-typed fields, so
+// two marshals of the same message are byte-identical (the wireenc lint
+// enforces this for every struct that reaches a journal or the wire).
+type Msg struct {
+	Type MsgType `json:"type"`
+	// Worker identifies the sender on requests (lease-req, renew,
+	// complete).
+	Worker string `json:"worker,omitempty"`
+	// Key is the cell's content-addressed cache key.
+	Key string `json:"key,omitempty"`
+	// Lease is the coordinator-issued lease id the exchange refers to.
+	Lease uint64 `json:"lease,omitempty"`
+	// TTLTicks is the granted lease lifetime in coordinator clock ticks.
+	TTLTicks uint64 `json:"ttl_ticks,omitempty"`
+	// Job is the leased cell's full job spec (grant only).
+	Job *campaign.Job `json:"job,omitempty"`
+	// Entry is a checksummed cache entry in transit (complete, entry).
+	// Both directions re-verify it before trusting a byte.
+	Entry *campaign.Entry `json:"entry,omitempty"`
+	// Status is the completion outcome: campaign.StatusDone / StatusFailed
+	// / StatusQuarantined.
+	Status string `json:"status,omitempty"`
+	// Err carries a failed cell's error text.
+	Err string `json:"err,omitempty"`
+	// Dump is a quarantined cell's diagnostic dump path (on the worker's
+	// host).
+	Dump string `json:"dump,omitempty"`
+	// Attempts is how many attempts the worker spent on the cell.
+	//
+	// Deliberately absent: the worker's wall-clock cost. Fabric messages
+	// feed journals and, via completion entries, hash-derived identities;
+	// keeping the envelope free of wall-clock values keeps the whole
+	// protocol replayable (detertaint enforces this transitively). Wall
+	// cost is observable on the worker's own span stream instead.
+	Attempts int `json:"attempts,omitempty"`
+	// Stale marks a complete-ack for a lease the coordinator had already
+	// reclaimed: the result was still accepted (content-addressed results
+	// cannot conflict), the flag is diagnostic.
+	Stale bool `json:"stale,omitempty"`
+	// Reason explains a nack.
+	Reason string `json:"reason,omitempty"`
+}

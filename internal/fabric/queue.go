@@ -1,0 +1,281 @@
+package fabric
+
+import "fmt"
+
+// cellState is one cell's position in the lease lifecycle.
+type cellState uint8
+
+const (
+	statePending cellState = iota
+	stateLeased
+	stateDone
+	stateFailed
+	stateQuarantined
+)
+
+// String names a state for counters and error text.
+func (s cellState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateLeased:
+		return "leased"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	case stateQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// cellRec is one cell's scheduling state.
+type cellRec struct {
+	cell   Cell
+	state  cellState
+	worker string // holder while leased
+	lease  uint64 // lease id while leased
+	expiry uint64 // tick at which the lease dies unless renewed
+	// requeues counts lease reclaims — how many times a worker went dark
+	// on this cell.
+	requeues int
+	// failReason is kept for failed/quarantined cells (dep cascades
+	// included).
+	failReason string
+}
+
+// queue is the coordinator's dependency-aware work queue. It is pure
+// in-memory state-machine logic with zero locking or I/O — the
+// coordinator serializes access under its own mutex, and the chaos tests
+// drive it through thousands of adversarial schedules cheaply.
+//
+// Scheduling is deterministic: cells are considered in insertion order,
+// so the same queue state always grants the same next cell.
+type queue struct {
+	order []string
+	cells map[string]*cellRec
+}
+
+// newQueue validates the cell set (unique keys, known deps, no dependency
+// cycles) and builds the queue with every cell pending.
+func newQueue(cells []Cell) (*queue, error) {
+	q := &queue{cells: make(map[string]*cellRec, len(cells))}
+	for _, c := range cells {
+		if c.Key == "" {
+			return nil, fmt.Errorf("fabric: cell %s has no key (use CellsFromJobs)", c.Job)
+		}
+		if _, dup := q.cells[c.Key]; dup {
+			return nil, fmt.Errorf("fabric: duplicate cell key %s", c.Key)
+		}
+		q.cells[c.Key] = &cellRec{cell: c}
+		q.order = append(q.order, c.Key)
+	}
+	for _, c := range cells {
+		for _, dep := range c.Deps {
+			if _, ok := q.cells[dep]; !ok {
+				return nil, fmt.Errorf("fabric: cell %s depends on unknown key %s", c.Key, dep)
+			}
+		}
+	}
+	if key, ok := q.findCycle(); ok {
+		return nil, fmt.Errorf("fabric: dependency cycle through cell %s", key)
+	}
+	return q, nil
+}
+
+// findCycle runs a three-color DFS over the dependency edges.
+func (q *queue) findCycle() (string, bool) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(q.cells))
+	var visit func(key string) bool
+	visit = func(key string) bool {
+		color[key] = gray
+		for _, dep := range q.cells[key].cell.Deps {
+			switch color[dep] {
+			case gray:
+				return true
+			case white:
+				if visit(dep) {
+					return true
+				}
+			}
+		}
+		color[key] = black
+		return false
+	}
+	for _, key := range q.order {
+		if color[key] == white && visit(key) {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// markDone settles a cell from outside the lease flow — the startup cache
+// probe marking already-simulated cells.
+func (q *queue) markDone(key string) {
+	if rec, ok := q.cells[key]; ok {
+		rec.state = stateDone
+	}
+}
+
+// depsReady reports whether every dependency of rec is done.
+func (q *queue) depsReady(rec *cellRec) bool {
+	for _, dep := range rec.cell.Deps {
+		if q.cells[dep].state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// cascadeFailures settles cells that can never run because a dependency
+// failed or was quarantined, iterating until the wavefront stops moving.
+// Without this, a failed dep would leave its dependents pending forever
+// and the campaign would never terminate.
+func (q *queue) cascadeFailures() int {
+	settled := 0
+	for changed := true; changed; {
+		changed = false
+		for _, key := range q.order {
+			rec := q.cells[key]
+			if rec.state != statePending {
+				continue
+			}
+			for _, dep := range rec.cell.Deps {
+				if ds := q.cells[dep].state; ds == stateFailed || ds == stateQuarantined {
+					rec.state = stateFailed
+					rec.failReason = fmt.Sprintf("dependency %s %s", dep, ds)
+					settled++
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return settled
+}
+
+// lease grants the first pending cell whose dependencies are done to
+// worker, stamping it with the lease id and expiry tick. ok=false means
+// nothing is leasable right now — which is "wait" if work is still in
+// flight and "done" if the queue is settled (the coordinator tells those
+// apart via settled()).
+func (q *queue) lease(worker string, leaseID, expiry uint64) (*cellRec, bool) {
+	for _, key := range q.order {
+		rec := q.cells[key]
+		if rec.state != statePending || !q.depsReady(rec) {
+			continue
+		}
+		rec.state = stateLeased
+		rec.worker = worker
+		rec.lease = leaseID
+		rec.expiry = expiry
+		return rec, true
+	}
+	return nil, false
+}
+
+// held returns the cell currently leased by worker, if any — the re-grant
+// path for a worker whose grant response was lost in transit.
+func (q *queue) held(worker string) (*cellRec, bool) {
+	for _, key := range q.order {
+		rec := q.cells[key]
+		if rec.state == stateLeased && rec.worker == worker {
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// renew extends a live lease's expiry; false means the lease is unknown
+// or stale (already reclaimed or completed).
+func (q *queue) renew(key string, leaseID, expiry uint64) bool {
+	rec, ok := q.cells[key]
+	if !ok || rec.state != stateLeased || rec.lease != leaseID {
+		return false
+	}
+	rec.expiry = expiry
+	return true
+}
+
+// complete settles a cell with its final state. stale reports the lease
+// id didn't match a live lease (the reclaimed-then-finished race);
+// already reports the cell was settled before this call (the duplicated
+// completion race). Both are accepted: results are content-addressed, so
+// a stale twin is byte-identical to the winner.
+func (q *queue) complete(key string, leaseID uint64, state cellState, reason string) (stale, already bool) {
+	rec, ok := q.cells[key]
+	if !ok {
+		return true, false
+	}
+	switch rec.state {
+	case stateDone, stateFailed, stateQuarantined:
+		return true, true
+	default:
+		// Pending or leased: settle below.
+	}
+	stale = rec.state != stateLeased || rec.lease != leaseID
+	rec.state = state
+	rec.failReason = reason
+	rec.worker = ""
+	rec.lease = 0
+	return stale, false
+}
+
+// expireDue reclaims every lease whose expiry tick has passed, returning
+// the reclaimed cells (now pending again, requeues bumped).
+func (q *queue) expireDue(tick uint64) []*cellRec {
+	var due []*cellRec
+	for _, key := range q.order {
+		rec := q.cells[key]
+		if rec.state == stateLeased && rec.expiry <= tick {
+			rec.state = statePending
+			rec.worker = ""
+			rec.lease = 0
+			rec.requeues++
+			due = append(due, rec)
+		}
+	}
+	return due
+}
+
+// settled reports whether every cell has reached a terminal state.
+func (q *queue) settled() bool {
+	for _, key := range q.order {
+		switch q.cells[key].state {
+		case statePending, stateLeased:
+			return false
+		default:
+			// Terminal.
+		}
+	}
+	return true
+}
+
+// counts tallies cells per state.
+func (q *queue) counts() (pending, leased, done, failed, quarantined int) {
+	for _, key := range q.order {
+		switch q.cells[key].state {
+		case statePending:
+			pending++
+		case stateLeased:
+			leased++
+		case stateDone:
+			done++
+		case stateFailed:
+			failed++
+		case stateQuarantined:
+			quarantined++
+		default:
+			// Unreachable: counts covers every cellState.
+		}
+	}
+	return
+}

@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/sim"
+)
+
+// testCells builds n dependency-free cells with distinct, stable keys.
+func testCells(t *testing.T, n int) []Cell {
+	t.Helper()
+	jobs := make([]campaign.Job, 0, n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, campaign.Job{
+			Workload: "gcc",
+			Config:   sim.Config{Policy: sim.CleanupSpec, Instructions: 500, Seed: uint64(i + 1)},
+		})
+	}
+	cells, err := CellsFromJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func TestQueueValidation(t *testing.T) {
+	cells := testCells(t, 3)
+
+	if _, err := newQueue([]Cell{{Job: cells[0].Job}}); err == nil || !strings.Contains(err.Error(), "no key") {
+		t.Errorf("keyless cell accepted: %v", err)
+	}
+	if _, err := newQueue([]Cell{cells[0], cells[0]}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate key accepted: %v", err)
+	}
+	bad := []Cell{cells[0], {Job: cells[1].Job, Key: cells[1].Key, Deps: []string{"nonexistent"}}}
+	if _, err := newQueue(bad); err == nil || !strings.Contains(err.Error(), "unknown key") {
+		t.Errorf("unknown dep accepted: %v", err)
+	}
+	loop := []Cell{
+		{Job: cells[0].Job, Key: cells[0].Key, Deps: []string{cells[1].Key}},
+		{Job: cells[1].Job, Key: cells[1].Key, Deps: []string{cells[2].Key}},
+		{Job: cells[2].Job, Key: cells[2].Key, Deps: []string{cells[0].Key}},
+	}
+	if _, err := newQueue(loop); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("dependency cycle accepted: %v", err)
+	}
+	if _, err := newQueue(cells); err != nil {
+		t.Errorf("valid cell set rejected: %v", err)
+	}
+}
+
+func TestQueueDependencyScheduling(t *testing.T) {
+	cells := testCells(t, 3)
+	// cell2 depends on cell0: it must not lease until cell0 completes.
+	cells[2].Deps = []string{cells[0].Key}
+	q, err := newQueue(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, ok := q.lease("w1", 1, 100)
+	if !ok || r1.cell.Key != cells[0].Key {
+		t.Fatalf("first lease: got %+v ok=%v, want cell0", r1, ok)
+	}
+	r2, ok := q.lease("w2", 2, 100)
+	if !ok || r2.cell.Key != cells[1].Key {
+		t.Fatalf("second lease: got %+v ok=%v, want cell1 (cell2 is blocked)", r2, ok)
+	}
+	if _, ok := q.lease("w3", 3, 100); ok {
+		t.Fatal("cell2 leased while its dependency is in flight")
+	}
+	if stale, already := q.complete(cells[0].Key, 1, stateDone, ""); stale || already {
+		t.Fatalf("live completion flagged stale=%v already=%v", stale, already)
+	}
+	r3, ok := q.lease("w3", 3, 100)
+	if !ok || r3.cell.Key != cells[2].Key {
+		t.Fatalf("post-dep lease: got %+v ok=%v, want cell2", r3, ok)
+	}
+}
+
+func TestQueueHeldRegrant(t *testing.T) {
+	q, err := newQueue(testCells(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := q.lease("w1", 1, 100)
+	held, ok := q.held("w1")
+	if !ok || held != rec {
+		t.Fatalf("held(w1) = %+v ok=%v, want the leased cell", held, ok)
+	}
+	if _, ok := q.held("w2"); ok {
+		t.Fatal("held(w2) found a lease it never took")
+	}
+}
+
+func TestQueueRenewAndExpiry(t *testing.T) {
+	cells := testCells(t, 1)
+	q, err := newQueue(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := q.lease("w1", 1, 10)
+
+	if !q.renew(cells[0].Key, 1, 20) {
+		t.Fatal("renewing a live lease failed")
+	}
+	if q.renew(cells[0].Key, 99, 20) {
+		t.Fatal("renew with a stale lease id succeeded")
+	}
+	if due := q.expireDue(19); len(due) != 0 {
+		t.Fatalf("lease expired before its renewed deadline: %d reclaimed", len(due))
+	}
+	due := q.expireDue(20)
+	if len(due) != 1 || due[0] != rec || rec.state != statePending || rec.requeues != 1 {
+		t.Fatalf("expiry at deadline: due=%d state=%v requeues=%d", len(due), rec.state, rec.requeues)
+	}
+	// The dead worker's heartbeat is now stale.
+	if q.renew(cells[0].Key, 1, 30) {
+		t.Fatal("renew succeeded on a reclaimed lease")
+	}
+}
+
+func TestQueueStaleAndDuplicateCompletion(t *testing.T) {
+	cells := testCells(t, 1)
+	q, err := newQueue(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.lease("w1", 1, 10)
+	q.expireDue(10) // reclaim: w1 is presumed dead
+	q.lease("w2", 2, 30)
+
+	// w1 finishes anyway: stale but accepted (results are content-addressed).
+	stale, already := q.complete(cells[0].Key, 1, stateDone, "")
+	if !stale || already {
+		t.Fatalf("reclaimed-lease completion: stale=%v already=%v, want stale only", stale, already)
+	}
+	// w2 finishes the same cell: a duplicate of a settled cell.
+	stale, already = q.complete(cells[0].Key, 2, stateDone, "")
+	if !stale || !already {
+		t.Fatalf("double completion: stale=%v already=%v, want both", stale, already)
+	}
+	if !q.settled() {
+		t.Fatal("queue not settled after completion")
+	}
+}
+
+func TestQueueCascadeFailures(t *testing.T) {
+	cells := testCells(t, 3)
+	cells[1].Deps = []string{cells[0].Key}
+	cells[2].Deps = []string{cells[1].Key}
+	q, err := newQueue(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.lease("w1", 1, 100)
+	q.complete(cells[0].Key, 1, stateFailed, "boom")
+
+	if n := q.cascadeFailures(); n != 2 {
+		t.Fatalf("cascade settled %d cells, want 2 (the whole dependent chain)", n)
+	}
+	if !q.settled() {
+		t.Fatal("queue not settled after cascade")
+	}
+	if reason := q.cells[cells[2].Key].failReason; !strings.Contains(reason, "dependency") {
+		t.Errorf("cascaded failure reason = %q, want a dependency explanation", reason)
+	}
+	p, l, d, f, quarantined := q.counts()
+	if p != 0 || l != 0 || d != 0 || f != 3 || quarantined != 0 {
+		t.Errorf("counts = %d/%d/%d/%d/%d, want 0/0/0/3/0", p, l, d, f, quarantined)
+	}
+}

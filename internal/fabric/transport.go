@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// Conn is the worker's path to the coordinator: strict request/reply. A
+// transport may lose requests, lose responses, duplicate and reorder
+// deliveries, and corrupt bytes in flight (see FaultConn) — the protocol
+// is built so every such failure is survivable by resending.
+type Conn interface {
+	Do(m Msg) (Msg, error)
+}
+
+// LocalConn delivers messages to an in-process coordinator: the chaos
+// harness's transport, and `campaign run -fabric`'s.
+type LocalConn struct {
+	C *Coordinator
+}
+
+// Do delivers m and returns the coordinator's reply.
+func (c LocalConn) Do(m Msg) (Msg, error) {
+	return c.C.Handle(m), nil
+}
+
+// FaultConn wraps a Conn with SiteFabricMsg chaos faults. Delivery
+// semantics per injected kind:
+//
+//   - KindError: the request is lost before delivery — the coordinator
+//     never sees it.
+//   - KindDrop: the request IS delivered, but its response is lost — the
+//     nastier half of at-least-once, forcing the sender's retry to hit an
+//     already-processed message (grants re-granted, completes duplicated).
+//   - KindDuplicate: the request is delivered twice back to back.
+//   - KindReorder: the sender's previous request is re-delivered after
+//     the current one — a stale retransmit arriving late.
+//   - KindCorrupt: the request's JSON is bit-flipped in transit; if it
+//     still parses, the coordinator must nack the damage, and if it does
+//     not, the send fails like a lost request.
+type FaultConn struct {
+	Inner  Conn
+	Faults *faultinject.Injector
+
+	mu   sync.Mutex
+	prev *Msg // last delivered message, for KindReorder replays
+}
+
+// Do sends m through the fault schedule.
+func (c *FaultConn) Do(m Msg) (Msg, error) {
+	switch k := c.Faults.Check(faultinject.SiteFabricMsg); k {
+	case faultinject.KindError:
+		return Msg{}, fmt.Errorf("fabric: %s request lost in transit: %w", m.Type, faultinject.ErrInjected)
+	case faultinject.KindDrop:
+		if _, err := c.deliver(m); err != nil {
+			return Msg{}, err
+		}
+		return Msg{}, fmt.Errorf("fabric: %s response lost in transit: %w", m.Type, faultinject.ErrInjected)
+	case faultinject.KindDuplicate:
+		if _, err := c.deliver(m); err != nil {
+			return Msg{}, err
+		}
+		return c.deliver(m)
+	case faultinject.KindReorder:
+		resp, err := c.replayPrevAfter(m)
+		return resp, err
+	case faultinject.KindCorrupt:
+		return c.deliverCorrupt(m)
+	default:
+		// KindNone and kinds scheduled for other sites: clean delivery.
+		return c.deliver(m)
+	}
+}
+
+// deliver passes m to the inner conn, remembering it for reorder replays.
+func (c *FaultConn) deliver(m Msg) (Msg, error) {
+	resp, err := c.Inner.Do(m)
+	if err == nil {
+		c.mu.Lock()
+		prev := m
+		c.prev = &prev
+		c.mu.Unlock()
+	}
+	return resp, err
+}
+
+// replayPrevAfter delivers m, then re-delivers the previous message — the
+// stale-retransmit-arrives-late schedule. The stale reply is discarded,
+// as a real network would have no one waiting for it.
+func (c *FaultConn) replayPrevAfter(m Msg) (Msg, error) {
+	c.mu.Lock()
+	stale := c.prev
+	c.mu.Unlock()
+	resp, err := c.deliver(m)
+	if err == nil && stale != nil {
+		if _, rerr := c.Inner.Do(*stale); rerr != nil {
+			// The replayed ghost failing changes nothing for the caller.
+			_ = rerr
+		}
+	}
+	return resp, err
+}
+
+// deliverCorrupt flips bytes in m's JSON encoding before delivery.
+func (c *FaultConn) deliverCorrupt(m Msg) (Msg, error) {
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return Msg{}, fmt.Errorf("fabric: encoding %s: %w", m.Type, err)
+	}
+	blob = c.Faults.Mutate(faultinject.KindCorrupt, blob)
+	var damaged Msg
+	if err := json.Unmarshal(blob, &damaged); err != nil {
+		// Corruption broke the framing: the receiver would discard it, so
+		// the sender sees a lost request.
+		return Msg{}, fmt.Errorf("fabric: %s corrupted beyond parsing: %w", m.Type, faultinject.ErrInjected)
+	}
+	return c.deliver(damaged)
+}

@@ -23,7 +23,9 @@ type ChromeEvent struct {
 	Tid  int            `json:"tid"`
 	Cat  string         `json:"cat,omitempty"`
 	S    string         `json:"s,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
+	// The trace-event spec requires heterogeneous args; this export is a
+	// viewer artifact, never journaled, checksummed, or re-read.
+	Args map[string]any `json:"args,omitempty"` //simlint:allow wireenc -- Chrome trace viewer schema; write-only export, not a journal
 }
 
 // chromeTraceFile is the JSON Object Format of the trace-event spec.
