@@ -13,13 +13,29 @@
 // (single Lock/Unlock pairs rewritable into the defer idiom),
 // enumexhaustive (switches over iota enums cover every constant or
 // declare a default), wireenc (structs reaching JSON journals or the
-// fabric wire carry no interface-typed content or unordered map keys, so
-// journal rows and protocol messages encode canonically), and
+// fabric wire carry no interface-typed content or unordered map keys,
+// and custom MarshalJSON bodies no map ranges, so journal rows and
+// protocol messages encode canonically), hotalloc (no unjustified
+// allocation — make/new/composite literals, growing appends, interface
+// boxing, closures, fmt calls — reachable from the per-cycle hot roots;
+// see -hotreport), cyclemath (uint64 cycle subtraction dominated by a
+// provable a>=b guard, no signed<->unsigned cycle conversions), and
 // staledirective (suppressions that no longer suppress anything).
 //
 // Usage:
 //
 //	simlint [-json] [-sarif file] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]
+//	simlint -hotreport [> HOTPATH_BUDGET.json]
+//	simlint -hotbudget HOTPATH_BUDGET.json
+//
+// -hotreport prints the hot-path allocation budget report: every
+// function reachable from the hot roots that still carries allocation
+// sites (suppressed or not), with per-kind counts. The report is
+// deterministic and byte-identical for every -workers value. -hotbudget
+// compares the current report against a committed budget and exits 1 on
+// any growth — new allocating functions, per-kind increases, total
+// growth, or a changed root set; shrinkage is re-recorded, never
+// failed, so the budget ratchets monotonically downward.
 //
 // Packages are directory patterns relative to the current directory
 // ("./...", "./internal/campaign", "./internal/..."); the default is the
@@ -65,6 +81,8 @@ func run() int {
 	fix := flag.Bool("fix", false, "apply mechanical fixes (gofmt-clean, idempotent)")
 	diff := flag.Bool("diff", false, "with -fix: preview fixes as a unified diff instead of writing files")
 	workers := flag.Int("workers", 0, "package-analysis worker pool size (0 = GOMAXPROCS); output is identical for any value")
+	hotreport := flag.Bool("hotreport", false, "emit the hot-path allocation budget report as JSON and exit")
+	hotbudget := flag.String("hotbudget", "", "compare the hot-path report against this committed budget `file`; exit 1 on growth")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json] [-sarif file] [-fix [-diff]] [-workers n] [-enable a,b] [-disable a,b] [packages]\n")
 		flag.PrintDefaults()
@@ -107,6 +125,11 @@ func run() int {
 
 	runner := analysis.NewRunner(mod)
 	runner.Workers = *workers
+
+	if *hotreport || *hotbudget != "" {
+		return runHotReport(runner, *hotreport, *hotbudget)
+	}
+
 	findings := runner.Run(analyzers, match)
 
 	if *sarifOut != "" {
@@ -150,6 +173,46 @@ func run() int {
 	if len(findings) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runHotReport serves -hotreport/-hotbudget: it builds the hot-path
+// allocation budget report (deterministic, byte-identical for any
+// -workers value), optionally prints it, and optionally enforces it
+// against a committed budget file. Re-record a legitimately changed
+// budget with `simlint -hotreport > HOTPATH_BUDGET.json`.
+func runHotReport(runner *analysis.Runner, print bool, budgetFile string) int {
+	rep := runner.HotReport()
+	if print {
+		blob, err := rep.MarshalIndent()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		os.Stdout.Write(blob)
+	}
+	if budgetFile == "" {
+		return 0
+	}
+	data, err := os.ReadFile(budgetFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	budget, err := analysis.ParseHotReport(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	violations := analysis.CompareHotBudget(budget, rep)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: hot-path allocation budget exceeded (%d violation(s)); fix the allocation or justify it with //simlint:allow hotalloc, then re-record with simlint -hotreport > %s\n", len(violations), budgetFile)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "simlint: hot-path budget ok (%d sites across %d functions)\n", rep.Total, len(rep.Functions))
 	return 0
 }
 

@@ -31,6 +31,13 @@
 //     across a round-trip) and no map keys outside encoding/json's
 //     sorted-key guarantee — so journal rows, checksummed cache entries,
 //     and protocol messages are byte-stable.
+//   - hotalloc: no allocation site (make/new/literals/append/interface
+//     boxing/closures/fmt) is reachable from the declared per-cycle hot
+//     roots without a justified suppression; simlint -hotreport emits the
+//     deterministic allocation budget CI ratchets via HOTPATH_BUDGET.json.
+//   - cyclemath: uint64 cycle subtraction a-b is dominated by a provable
+//     a>=b guard, and cycle values never cross signed conversions — the
+//     classic simulator underflow bug class.
 //   - staledirective: a //simlint suppression that suppresses nothing is
 //     itself a finding (and is auto-removable with -fix).
 //
@@ -42,7 +49,13 @@
 //
 // placed on the offending line or the line directly above it. A directive
 // without a justification is itself a finding, and so is a directive that
-// no longer suppresses anything.
+// no longer suppresses anything. A third verb declares facts instead of
+// suppressing:
+//
+//	//simlint:hot -- <why this function runs every cycle>
+//
+// marks the function declared on the next line as a hotalloc root in
+// addition to the committed hotroots.go list.
 package analysis
 
 import (
@@ -86,6 +99,8 @@ func Analyzers() []*Analyzer {
 		AnalyzerDeferUnlock,
 		AnalyzerEnumExhaustive,
 		AnalyzerWireEnc,
+		AnalyzerHotAlloc,
+		AnalyzerCycleMath,
 		AnalyzerStaleDirective,
 	}
 }
@@ -242,6 +257,8 @@ type Runner struct {
 	taints     *taintFacts
 	undoOnce   sync.Once
 	undo       *undoFacts
+	hotOnce    sync.Once
+	hot        *hotFacts // hot-path allocation model (hotalloc.go)
 
 	// lockAcc accumulates cross-package lock-graph edges during the
 	// parallel phase; AnalyzerLockOrder.Finish reads it.
@@ -298,7 +315,7 @@ func (r *Runner) scanDirectives(f *ast.File) {
 				continue
 			}
 			d.verb = fields[0]
-			if d.verb != "ordered" && d.verb != "allow" {
+			if d.verb != "ordered" && d.verb != "allow" && d.verb != "hot" {
 				r.findings = append(r.findings, Finding{Analyzer: "directive", Pos: pos,
 					Message: fmt.Sprintf("unknown //simlint directive %q", d.verb)})
 				continue
@@ -315,6 +332,14 @@ func (r *Runner) scanDirectives(f *ast.File) {
 				if len(fields) != 1 {
 					r.findings = append(r.findings, Finding{Analyzer: "directive", Pos: pos,
 						Message: "//simlint:ordered takes no arguments (write //simlint:ordered -- <justification>)"})
+					continue
+				}
+			case "hot":
+				// Declares the function below a hot-path root for the
+				// hotalloc analyzer; it suppresses nothing.
+				if len(fields) != 1 {
+					r.findings = append(r.findings, Finding{Analyzer: "directive", Pos: pos,
+						Message: "//simlint:hot takes no arguments (write //simlint:hot -- <why this runs every cycle>)"})
 					continue
 				}
 			case "allow":

@@ -1,0 +1,601 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerHotAlloc is the static half of the hot-loop performance
+// program: it proves, at lint time, which allocation sites are reachable
+// from the simulator's per-cycle entry points, so every rewrite of the
+// cycle loop is checked on every CI run — not only on the configurations
+// a benchmark happens to pin.
+//
+// Roots are the per-cycle drivers: the committed list in hotroots.go
+// (matched by package-relative function key, entries absent from the
+// analyzed module are ignored so the golden mini-modules work) plus any
+// function annotated
+//
+//	//simlint:hot -- <why this runs every cycle>
+//
+// on the line above its declaration. From the roots the analyzer walks
+// the module call graph — call, spawn, and closure edges, interface
+// calls fanned out to every module implementer — and classifies each
+// reachable function's allocation sites:
+//
+//   - make / new:        explicit heap construction
+//   - lit:               slice, map, and &-escaping composite literals
+//   - append:            any append (statically, every append may grow)
+//   - box:               interface boxing — a concrete non-pointer value
+//     converted to an interface type, at a conversion or a call boundary
+//   - conv:              string ↔ []byte/[]rune conversions and string
+//     concatenation, which copy
+//   - fmt:               calls into fmt or errors (allocating formatters)
+//   - closure:           a function literal built on the hot path (the
+//     closure object itself is an allocation)
+//   - spawn:             a go statement (goroutine + argument frame)
+//
+// Every site reachable from a hot root is a finding unless suppressed by
+// a justified //simlint:allow hotalloc directive. Independent of the
+// findings, Runner.HotReport aggregates ALL sites — suppressed ones
+// included — into a deterministic per-function budget (simlint
+// -hotreport); CI compares it against the committed HOTPATH_BUDGET.json
+// and fails on any growth, so the budget can only shrink as the perf
+// program lands.
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation sites (make/new/literals/append/boxing/closures/fmt) reachable from the declared per-cycle hot roots",
+	Run:  runHotAlloc,
+}
+
+// hotSite is one classified allocation site inside a hot-reachable
+// function.
+type hotSite struct {
+	pos  token.Pos
+	kind string // make, new, lit, append, box, conv, fmt, closure, spawn
+	desc string
+}
+
+// hotFacts is the module-wide hot-path model: the root set, the functions
+// reachable from it, and each one's allocation sites.
+type hotFacts struct {
+	g     *callGraph
+	roots []*cgNode
+	// via names, for every reachable node, the root whose BFS discovered
+	// it first (deterministic: roots and edges are position-ordered).
+	via map[*cgNode]string
+	// sites holds the classified allocation sites of every reachable node.
+	sites map[*cgNode][]hotSite
+	// owner attributes a literal node's budget entry to its enclosing
+	// declared function.
+	owner map[*cgNode]*cgNode
+}
+
+// hotRootKey renders the stable identity a root-list entry matches:
+// "<pkg-rel>.<Recv.Name>" ("internal/cpu.Machine.Step").
+func hotRootKey(n *cgNode) string {
+	rel := n.pkg.Rel()
+	if rel == "" {
+		return n.name()
+	}
+	return rel + "." + n.name()
+}
+
+// hotModel builds the hot-path facts once per Runner.
+func (r *Runner) hotModel(mod *Module) *hotFacts {
+	r.hotOnce.Do(func() {
+		g := r.callGraph(mod)
+		hf := &hotFacts{
+			g:     g,
+			via:   make(map[*cgNode]string),
+			sites: make(map[*cgNode][]hotSite),
+			owner: make(map[*cgNode]*cgNode),
+		}
+
+		// Literal ownership, for budget attribution.
+		for _, n := range g.nodes {
+			if n.decl == nil {
+				continue
+			}
+			ast.Inspect(n.decl.Body, func(m ast.Node) bool {
+				if fl, ok := m.(*ast.FuncLit); ok {
+					if ln := g.byLit[fl]; ln != nil {
+						hf.owner[ln] = n
+					}
+				}
+				return true
+			})
+		}
+
+		// Root set: the committed list plus //simlint:hot directives on
+		// the line above a function declaration.
+		listed := make(map[string]bool, len(hotPathRoots))
+		for _, key := range hotPathRoots {
+			listed[key] = true
+		}
+		for _, n := range g.nodes {
+			if n.decl == nil {
+				continue
+			}
+			if listed[hotRootKey(n)] || r.hotDirective(mod, n.decl) {
+				hf.roots = append(hf.roots, n)
+			}
+		}
+		sort.Slice(hf.roots, func(i, j int) bool { return hf.roots[i].index < hf.roots[j].index })
+
+		// BFS from the roots, recording which root reaches each node
+		// first. Node and edge order are deterministic, so the `via`
+		// attribution — and every message derived from it — is too.
+		queue := make([]*cgNode, 0, len(hf.roots))
+		for _, root := range hf.roots {
+			if _, seen := hf.via[root]; !seen {
+				hf.via[root] = hotRootKey(root)
+				queue = append(queue, root)
+			}
+		}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range n.out {
+				if _, seen := hf.via[e.callee]; !seen {
+					hf.via[e.callee] = hf.via[n]
+					queue = append(queue, e.callee)
+				}
+			}
+		}
+
+		//simlint:ordered -- fills one map keyed by the ranged keys; no cross-iteration state, so the result is order-independent
+		for n := range hf.via {
+			if sites := allocSitesIn(n, g); len(sites) > 0 {
+				hf.sites[n] = sites
+			}
+		}
+		r.hot = hf
+	})
+	return r.hot
+}
+
+// hotDirective reports whether a //simlint:hot directive rides the line
+// above (or the first line of) the declaration.
+func (r *Runner) hotDirective(mod *Module, decl *ast.FuncDecl) bool {
+	pos := mod.Fset.Position(decl.Pos())
+	lines := r.directives[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := lines[line]; ok && d.verb == "hot" {
+			return true
+		}
+	}
+	return false
+}
+
+// allocSitesIn classifies the allocation sites of one function body
+// (nested literals excluded — they are their own call-graph nodes and
+// are reached through closure edges).
+func allocSitesIn(n *cgNode, g *callGraph) []hotSite {
+	var sites []hotSite
+	add := func(pos token.Pos, kind, desc string) {
+		sites = append(sites, hotSite{pos: pos, kind: kind, desc: desc})
+	}
+
+	// Composite literals whose address is taken escape even when their
+	// struct type would otherwise live on the stack.
+	addrOf := make(map[*ast.CompositeLit]bool)
+	walkShallow(n.body, func(m ast.Node) {
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if cl, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+				addrOf[cl] = true
+			}
+		}
+	})
+
+	walkShallow(n.body, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			add(m.Pos(), "spawn", "go statement spawns a goroutine (allocates its stack and argument frame)")
+		case *ast.BinaryExpr:
+			if m.Op == token.ADD && isStringType(n.pkg.Info.TypeOf(m)) {
+				add(m.Pos(), "conv", "string concatenation allocates the result")
+			}
+		case *ast.CompositeLit:
+			t := n.pkg.Info.TypeOf(m)
+			if t == nil {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				add(m.Pos(), "lit", "slice literal allocates its backing array")
+			case *types.Map:
+				add(m.Pos(), "lit", "map literal allocates")
+			default:
+				if addrOf[m] {
+					add(m.Pos(), "lit", fmt.Sprintf("&%s composite literal escapes to the heap", types.TypeString(t, shortQualifier)))
+				}
+			}
+		case *ast.CallExpr:
+			classifyCallSite(n, m, add)
+		}
+	})
+
+	// Function literals built in this body: the closure object is
+	// allocated here, whatever the literal goes on to do.
+	for _, e := range n.out {
+		if e.kind == edgeClosure && e.callee.lit != nil {
+			add(e.callee.lit.Pos(), "closure", "function literal allocates its closure")
+		}
+	}
+
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].pos != sites[j].pos {
+			return sites[i].pos < sites[j].pos
+		}
+		return sites[i].kind < sites[j].kind
+	})
+	return sites
+}
+
+// classifyCallSite records the allocation behavior of one call: builtin
+// constructors, conversions (boxing, string copies), fmt/errors calls,
+// and interface boxing at the call's parameter boundary.
+func classifyCallSite(n *cgNode, call *ast.CallExpr, add func(token.Pos, string, string)) {
+	info := n.pkg.Info
+
+	// Conversion? T(x) where T is a type, not a function.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := info.TypeOf(call)
+		src := info.TypeOf(call.Args[0])
+		if dst == nil || src == nil {
+			return
+		}
+		if types.IsInterface(dst) && boxes(src, info, call.Args[0]) {
+			add(call.Pos(), "box", fmt.Sprintf("conversion boxes %s into %s",
+				types.TypeString(src, shortQualifier), types.TypeString(dst, shortQualifier)))
+			return
+		}
+		if isStringByteConv(dst, src) {
+			add(call.Pos(), "conv", fmt.Sprintf("%s(%s) conversion copies its contents",
+				types.TypeString(dst, shortQualifier), types.TypeString(src, shortQualifier)))
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make", fmt.Sprintf("make(%s) allocates", exprString(call.Args[0])))
+			case "new":
+				add(call.Pos(), "new", fmt.Sprintf("new(%s) allocates", exprString(call.Args[0])))
+			case "append":
+				if spliceInPlace(call) {
+					return // proved non-growing; no site, no budget entry
+				}
+				add(call.Pos(), "append", fmt.Sprintf("append to %s may grow its backing array", exprString(call.Args[0])))
+			}
+			return
+		}
+	}
+
+	// fmt / errors calls: allocating formatters, one finding per call.
+	if fn := calleeFunc(n.pkg, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors":
+			add(call.Pos(), "fmt", fmt.Sprintf("call into %s.%s allocates", fn.Pkg().Name(), fn.Name()))
+			return
+		}
+	}
+
+	// Interface boxing at the parameter boundary.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i, call)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || !boxes(at, info, arg) {
+			continue
+		}
+		add(arg.Pos(), "box", fmt.Sprintf("argument boxes %s into %s at the call boundary",
+			types.TypeString(at, shortQualifier), types.TypeString(pt, shortQualifier)))
+	}
+}
+
+// spliceInPlace recognizes append(s[:i], s[j:]...) with provable i <= j
+// over the same base slice — the in-place element-removal idiom. The
+// result is never longer than s was, so the append cannot outgrow s's
+// backing array; it is a copy, not an allocation.
+func spliceInPlace(call *ast.CallExpr) bool {
+	if len(call.Args) != 2 || !call.Ellipsis.IsValid() {
+		return false
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || dst.Low != nil || dst.High == nil || dst.Slice3 {
+		return false
+	}
+	src, ok := ast.Unparen(call.Args[1]).(*ast.SliceExpr)
+	if !ok || src.Low == nil || src.High != nil || src.Slice3 {
+		return false
+	}
+	base := pathKey(dst.X)
+	if base == "" || base != pathKey(src.X) {
+		return false
+	}
+	return indexLEQ(dst.High, src.Low)
+}
+
+// indexLEQ proves i <= j syntactically: j is i itself, or i plus an
+// (unsigned-literal) constant.
+func indexLEQ(i, j ast.Expr) bool {
+	pi := pathKey(i)
+	if pi == "" {
+		return false
+	}
+	if pathKey(j) == pi {
+		return true
+	}
+	b, ok := ast.Unparen(j).(*ast.BinaryExpr)
+	if !ok || b.Op != token.ADD {
+		return false
+	}
+	if pathKey(b.X) == pi {
+		_, lit := ast.Unparen(b.Y).(*ast.BasicLit)
+		return lit
+	}
+	if pathKey(b.Y) == pi {
+		_, lit := ast.Unparen(b.X).(*ast.BasicLit)
+		return lit
+	}
+	return false
+}
+
+// paramTypeAt resolves the static parameter type an argument is assigned
+// to, unrolling the variadic tail.
+func paramTypeAt(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if params == nil || params.Len() == 0 {
+		return nil
+	}
+	if i < params.Len()-1 || (!sig.Variadic() && i < params.Len()) {
+		return params.At(i).Type()
+	}
+	if !sig.Variadic() {
+		return nil
+	}
+	if call.Ellipsis.IsValid() {
+		return params.At(params.Len() - 1).Type() // s... passes the slice through
+	}
+	if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return nil
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: pointers, interfaces, and untyped nil are pointer-shaped and
+// do not; constants are immaterial (they fold); everything else boxes.
+func boxes(t types.Type, info *types.Info, arg ast.Expr) bool {
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		if b := t.Underlying().(*types.Basic); b.Kind() == types.UntypedNil || b.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		// A constant operand still allocates when boxed, but the compiler
+		// interns small ones; treat constant expressions as boxing — the
+		// caller decides — EXCEPT untyped nil, handled above. Keep them.
+		_ = tv
+	}
+	return true
+}
+
+// isStringByteConv reports a string ↔ []byte/[]rune conversion.
+func isStringByteConv(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool { return isStringType(t) }
+	isBytes := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isBytes(src)) || (isBytes(dst) && isStr(src))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// shortQualifier renders package-qualified type names with the bare
+// package name, keeping messages readable.
+func shortQualifier(p *types.Package) string { return p.Name() }
+
+// runHotAlloc reports every unsuppressed allocation site of the
+// package's hot-reachable functions.
+func runHotAlloc(p *Pass) {
+	hf := p.runner.hotModel(p.Mod)
+	for _, n := range hf.g.nodes {
+		if n.pkg != p.Pkg {
+			continue
+		}
+		root, hot := hf.via[n]
+		if !hot {
+			continue
+		}
+		for _, s := range hf.sites[n] {
+			p.Reportf(s.pos,
+				"allocation on the per-cycle hot path (%s): %s — reachable from %s; preallocate or reuse capacity, or annotate //simlint:allow hotalloc -- <why this is bounded or amortized>",
+				s.kind, s.desc, root)
+		}
+	}
+}
+
+// --- budget report ---
+
+// HotReport is the deterministic allocation budget simlint -hotreport
+// emits and HOTPATH_BUDGET.json commits: per hot-reachable function, the
+// count of allocation sites by kind. Suppressed sites count too — the
+// budget tracks what the code does, not what the directives excuse — so
+// the committed file can only shrink as allocations are engineered away.
+type HotReport struct {
+	Schema    int         `json:"schema"`
+	Roots     []string    `json:"roots"`
+	Total     int         `json:"total"`
+	Functions []HotFnCost `json:"functions"`
+}
+
+// HotFnCost is one function's allocation-site budget.
+type HotFnCost struct {
+	Fn    string         `json:"fn"`
+	Total int            `json:"total"`
+	Sites map[string]int `json:"sites"`
+}
+
+// HotReportSchema versions the budget file format.
+const HotReportSchema = 1
+
+// HotReport builds the allocation budget of the module's hot region. The
+// result is independent of Runner.Workers (the model is built serially,
+// in deterministic node order), so the emitted JSON is byte-identical
+// across runs and worker counts.
+func (r *Runner) HotReport() *HotReport {
+	hf := r.hotModel(r.Mod)
+	rep := &HotReport{Schema: HotReportSchema, Roots: []string{}}
+	for _, root := range hf.roots {
+		rep.Roots = append(rep.Roots, hotRootKey(root))
+	}
+	sort.Strings(rep.Roots)
+
+	byFn := make(map[string]*HotFnCost)
+	//simlint:ordered -- accumulates commutative counts into a map that is emitted in sorted key order below
+	for n := range hf.via {
+		sites := hf.sites[n]
+		if len(sites) == 0 {
+			continue
+		}
+		key := hotBudgetKey(hf, n)
+		fc := byFn[key]
+		if fc == nil {
+			fc = &HotFnCost{Fn: key, Sites: make(map[string]int)}
+			byFn[key] = fc
+		}
+		for _, s := range sites {
+			fc.Sites[s.kind]++
+			fc.Total++
+			rep.Total++
+		}
+	}
+	keys := make([]string, 0, len(byFn))
+	for k := range byFn {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rep.Functions = make([]HotFnCost, 0, len(keys))
+	for _, k := range keys {
+		rep.Functions = append(rep.Functions, *byFn[k])
+	}
+	return rep
+}
+
+// hotBudgetKey names a node's budget row; literals are attributed to
+// their enclosing declared function so the file stays stable as literal
+// positions move.
+func hotBudgetKey(hf *hotFacts, n *cgNode) string {
+	if n.lit != nil {
+		if owner := hf.owner[n]; owner != nil {
+			return hotRootKey(owner) + ".func"
+		}
+		return n.pkg.Rel() + ".func"
+	}
+	return hotRootKey(n)
+}
+
+// MarshalIndent renders the report in its canonical committed form.
+func (rep *HotReport) MarshalIndent() ([]byte, error) {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// ParseHotReport reads a committed budget file.
+func ParseHotReport(data []byte) (*HotReport, error) {
+	var rep HotReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("analysis: parsing hot budget: %w", err)
+	}
+	if rep.Schema != HotReportSchema {
+		return nil, fmt.Errorf("analysis: hot budget schema %d, tool expects %d (re-record with simlint -hotreport)", rep.Schema, HotReportSchema)
+	}
+	return &rep, nil
+}
+
+// CompareHotBudget checks current against the committed budget and
+// returns one violation message per budget growth: a new function with
+// allocation sites, a per-kind count increase, or total growth. Shrinkage
+// is never a violation — the budget ratchets downward by re-recording.
+func CompareHotBudget(budget, current *HotReport) []string {
+	var out []string
+	old := make(map[string]HotFnCost, len(budget.Functions))
+	for _, fc := range budget.Functions {
+		old[fc.Fn] = fc
+	}
+	for _, fc := range current.Functions {
+		prev, ok := old[fc.Fn]
+		if !ok {
+			out = append(out, fmt.Sprintf("hot budget: %s has %d allocation site(s) but no budget entry — a new function entered the hot region allocating", fc.Fn, fc.Total))
+			continue
+		}
+		kinds := make([]string, 0, len(fc.Sites))
+		for k := range fc.Sites {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			if fc.Sites[k] > prev.Sites[k] {
+				out = append(out, fmt.Sprintf("hot budget: %s grew %s sites %d -> %d", fc.Fn, k, prev.Sites[k], fc.Sites[k]))
+			}
+		}
+	}
+	if current.Total > budget.Total {
+		out = append(out, fmt.Sprintf("hot budget: total allocation sites grew %d -> %d", budget.Total, current.Total))
+	}
+	if !sameStrings(budget.Roots, current.Roots) {
+		out = append(out, fmt.Sprintf("hot budget: root set changed %v -> %v (re-record with simlint -hotreport)", budget.Roots, current.Roots))
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,20 @@
+package analysis
+
+// hotPathRoots is the committed list of per-cycle entry points the
+// hotalloc analyzer treats as roots, in addition to functions annotated
+// with a //simlint:hot directive. Each entry is "<package-rel>.<func>"
+// or "<package-rel>.<Recv>.<method>" — the key hotRootKey renders.
+//
+// Entries that do not resolve in the analyzed module are ignored, so the
+// golden testdata mini-modules declare their roots purely via directives.
+//
+// Everything the simulator executes once per simulated cycle hangs off
+// Machine.Step: the memory hierarchy tick (cache/memsys/dram/coherence),
+// wake/completion processing, commit/issue/dispatch/fetch, and the
+// metrics sampler's disabled path. Adding a root here (or growing what an
+// existing root reaches) widens the allocation budget CI enforces via
+// HOTPATH_BUDGET.json — re-record it with `simlint -hotreport` and
+// justify the growth in review.
+var hotPathRoots = []string{
+	"internal/cpu.Machine.Step",
+}

@@ -1,0 +1,59 @@
+// Package cmath is the cyclemath analyzer's golden input: uint64 cycle
+// subtraction must be dominated by a provable order guard, and cycle
+// values must stay unsigned end to end.
+package cmath
+
+// Cycle mirrors arch.Cycle: a named uint64 cycle type.
+type Cycle uint64
+
+// Unguarded subtracts cycle counts with no dominating order guard: if
+// the operands ever flip, unsigned wrap yields an absurd duration.
+func Unguarded(nowCycle, issuedCycle uint64) uint64 {
+	return nowCycle - issuedCycle // want `uint64 cycle subtraction nowCycle - issuedCycle is not dominated`
+}
+
+// Guarded is dominated by the >= comparison: no finding.
+func Guarded(nowCycle, issuedCycle uint64) uint64 {
+	if nowCycle >= issuedCycle {
+		return nowCycle - issuedCycle
+	}
+	return 0
+}
+
+// EarlyExit proves the order by negation — the terminating branch
+// removes the nowCycle < issuedCycle case: no finding.
+func EarlyExit(nowCycle, issuedCycle uint64) uint64 {
+	if nowCycle < issuedCycle {
+		return 0
+	}
+	return nowCycle - issuedCycle
+}
+
+// BranchOnly guards only one branch; on the joined path after the if,
+// the ordering fact no longer holds, so the subtraction is flagged.
+func BranchOnly(nowCycle, issuedCycle uint64, verbose bool) uint64 {
+	if nowCycle >= issuedCycle {
+		_ = verbose
+	}
+	return nowCycle - issuedCycle // want `uint64 cycle subtraction nowCycle - issuedCycle is not dominated`
+}
+
+// Reassigned shows the kill rule: the guard's fact dies when either
+// operand is written again before the subtraction.
+func Reassigned(nowCycle, issuedCycle uint64) uint64 {
+	if nowCycle >= issuedCycle {
+		issuedCycle += 10
+		return nowCycle - issuedCycle // want `uint64 cycle subtraction nowCycle - issuedCycle is not dominated`
+	}
+	return 0
+}
+
+// ToSigned truncates and sign-flips a cycle count past 2^63.
+func ToSigned(c Cycle) int64 {
+	return int64(c) // want `cycle value c converted to signed int64`
+}
+
+// FromSigned wraps a negative value into ~1.8e19 cycles.
+func FromSigned(n int) Cycle {
+	return Cycle(n) // want `signed int converted to cycle type cmath.Cycle`
+}

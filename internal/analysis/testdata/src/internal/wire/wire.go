@@ -19,6 +19,9 @@ type Row struct {
 	Summary map[string]float64 `json:"summary,omitempty"`
 	// A custom marshaller is a trusted boundary; the walk stops there.
 	Sorted SortedSet `json:"sorted"`
+	// A custom marshaller whose own body leaks map iteration order: the
+	// boundary is audited, not blindly trusted.
+	Leaky LeakySet `json:"leaky"`
 }
 
 // Cell is a composite key type with no text encoding.
@@ -41,6 +44,23 @@ type SortedSet struct {
 // enough for the golden input).
 func (s SortedSet) MarshalJSON() ([]byte, error) {
 	return json.Marshal(len(s.members))
+}
+
+// LeakySet claims a custom encoding but writes its members in map
+// iteration order, so the same logical value produces different bytes
+// across runs.
+type LeakySet struct {
+	members map[string]bool
+}
+
+// MarshalJSON ranges over the member map directly — the wire bytes
+// depend on randomized iteration order.
+func (s LeakySet) MarshalJSON() ([]byte, error) {
+	var parts []string
+	for m := range s.members { // want `range over map s.members` // want `custom MarshalJSON of LeakySet ranges over map s.members`
+		parts = append(parts, m)
+	}
+	return json.Marshal(parts)
 }
 
 // Append is the serialization seed that makes Row a wire struct.

@@ -31,11 +31,14 @@ import (
 //     encoding.TextMarshaler: encoding/json has no canonical key order
 //     for them and errors at runtime.
 //
-// A named type implementing json.Marshaler is a trusted boundary — it
-// has taken responsibility for its own (sorted, canonical) encoding —
-// and the walk does not descend into it. json:"-" fields never reach
-// the wire and are skipped. Plain map fields with string/integer keys
-// are accepted: encoding/json sorts those keys canonically.
+// A named type implementing json.Marshaler is a trusted boundary for
+// the schema walk — it has taken responsibility for its own (sorted,
+// canonical) encoding — but for module types that responsibility is
+// audited rather than assumed: the MarshalJSON body itself is inspected,
+// and a range over a map inside it (whose iteration order would leak
+// into the wire bytes) is reported. json:"-" fields never reach the
+// wire and are skipped. Plain map fields with string/integer keys are
+// accepted: encoding/json sorts those keys canonically.
 var AnalyzerWireEnc = &Analyzer{
 	Name:   "wireenc",
 	Doc:    "require canonical JSON encoding for structs reaching journals or the fabric wire (no interface-typed content, ordered map keys)",
@@ -158,7 +161,11 @@ func (w *wireWalker) visit(t types.Type) {
 	case *types.Map:
 		w.visit(t.Elem())
 	case *types.Named:
-		if !w.moduleType(t) || isJSONMarshaler(t) {
+		if isJSONMarshaler(t) {
+			w.checkMarshalBody(t)
+			return
+		}
+		if !w.moduleType(t) {
 			return
 		}
 		if st, ok := t.Underlying().(*types.Struct); ok {
@@ -212,7 +219,8 @@ func (w *wireWalker) checkContent(owner string, field *types.Var, t types.Type) 
 			owner, field.Name(), t)
 	case *types.Named:
 		if isJSONMarshaler(t) {
-			return // trusted custom encoding
+			w.checkMarshalBody(t) // trusted for the schema walk, but audit the body
+			return
 		}
 		if !w.moduleType(t) {
 			return
@@ -223,6 +231,59 @@ func (w *wireWalker) checkContent(owner string, field *types.Var, t types.Type) 
 		}
 		w.checkContent(owner, field, t.Underlying())
 	}
+}
+
+// checkMarshalBody audits a module type's custom MarshalJSON. The method
+// stops the schema walk — it has taken responsibility for its own
+// encoding — but that responsibility is verified, not assumed: a range
+// over a map inside the body writes wire bytes in randomized iteration
+// order. Collecting the keys into a slice and sorting first (the
+// sortedKeys idiom) ranges over a slice and passes. Foreign types are
+// skipped (their method bodies are not in the module's ASTs).
+func (w *wireWalker) checkMarshalBody(t *types.Named) {
+	if !w.moduleType(t) {
+		return
+	}
+	key := "marshal:" + types.TypeString(t, nil)
+	if w.visited[key] {
+		return
+	}
+	w.visited[key] = true
+	fn := marshalJSONFunc(t)
+	if fn == nil {
+		return
+	}
+	node := w.fp.runner.callGraph(w.fp.Mod).nodeFor(fn)
+	if node == nil || node.decl == nil || node.decl.Body == nil {
+		return
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		xt := node.pkg.Info.TypeOf(rng.X)
+		if xt == nil {
+			return true
+		}
+		if _, isMap := xt.Underlying().(*types.Map); isMap {
+			w.reportf(rng.Pos(),
+				"custom MarshalJSON of %s ranges over map %s: iteration order leaks into the wire bytes; sort the keys into a slice and range over that",
+				t.Obj().Name(), exprString(rng.X))
+		}
+		return true
+	})
+}
+
+// marshalJSONFunc resolves the concrete MarshalJSON method of t (or *t).
+func marshalJSONFunc(t types.Type) *types.Func {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(typ, true, nil, "MarshalJSON")
+		if fn, ok := obj.(*types.Func); ok && fn != nil {
+			return fn
+		}
+	}
+	return nil
 }
 
 func (w *wireWalker) reportf(pos token.Pos, format string, args ...any) {

@@ -281,7 +281,7 @@ func (c *Cache) Install(l arch.LineAddr, st arch.CohState, part int, now arch.Cy
 // into the exact way it was evicted from (Section 3.4).
 func (c *Cache) InstallAt(set, way int, l arch.LineAddr, st arch.CohState, now arch.Cycle) (evicted Line) {
 	if got := c.idx.SetIndex(l); got != set {
-		//simlint:allow errdiscipline -- restore-path invariant: a misindexed install would silently corrupt simulated cache state
+		//simlint:allow errdiscipline,hotalloc -- restore-path invariant: a misindexed install would silently corrupt simulated cache state; the Sprintf runs only on that terminal panic path
 		panic(fmt.Sprintf("cache %s: install of %v into set %d, but it indexes to %d", c.cfg.Name, l, set, got))
 	}
 	ln := c.line(set, way)

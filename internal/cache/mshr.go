@@ -119,6 +119,7 @@ func (m *MSHR) Lookup(line arch.LineAddr) (*MSHREntry, bool) {
 // It returns (entry, merged, ok); ok is false when the MSHR is full.
 func (m *MSHR) Allocate(line arch.LineAddr, waiter uint64) (e *MSHREntry, merged, ok bool) {
 	if e, exists := m.entries[line]; exists {
+		//simlint:allow hotalloc -- one waiter id per merged miss; the list is bounded by the LQ size and freed with the entry when the fill returns
 		e.Waiters = append(e.Waiters, waiter)
 		m.Stats.Merges++
 		return e, true, true
@@ -127,6 +128,7 @@ func (m *MSHR) Allocate(line arch.LineAddr, waiter uint64) (e *MSHREntry, merged
 		m.Stats.Full++
 		return nil, false, false
 	}
+	//simlint:allow hotalloc -- one entry+waiter list per primary miss, bounded by MSHR capacity; amortized over the miss latency, not per cycle
 	e = &MSHREntry{Line: line, Waiters: []uint64{waiter}}
 	m.entries[line] = e
 	m.Stats.Allocs++

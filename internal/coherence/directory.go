@@ -102,6 +102,7 @@ func (d *Directory) Cores() int { return d.cores }
 func (d *Directory) get(l arch.LineAddr) *entry {
 	e, ok := d.entries[l]
 	if !ok {
+		//simlint:allow hotalloc -- one directory entry per tracked line, allocated on first reference and deleted on last eviction; amortized across the line's lifetime
 		e = &entry{owner: -1}
 		d.entries[l] = e
 	}
@@ -110,7 +111,7 @@ func (d *Directory) get(l arch.LineAddr) *entry {
 
 func (d *Directory) checkCore(core int) {
 	if core < 0 || core >= d.cores {
-		//simlint:allow errdiscipline -- protocol invariant: an out-of-range core id means the simulator state is already corrupt
+		//simlint:allow errdiscipline,hotalloc -- protocol invariant: an out-of-range core id means the simulator state is already corrupt; the Sprintf runs only on that terminal panic path
 		panic(fmt.Sprintf("coherence: core %d out of range [0,%d)", core, d.cores))
 	}
 }
@@ -164,7 +165,8 @@ func (d *Directory) getS(core int, l arch.LineAddr) Grant {
 	case e.owner >= 0:
 		// Remote owner: downgrade to S, both become sharers.
 		g := Grant{
-			State:       arch.Shared,
+			State: arch.Shared,
+			//simlint:allow hotalloc -- one-element downgrade list per remote-owned GetS; bounded by the (rare) cross-core sharing event, not per cycle
 			Downgrades:  []int{e.owner},
 			Source:      SrcRemote,
 			RemoteOwned: true,
@@ -211,6 +213,7 @@ func (d *Directory) GetX(core int, l arch.LineAddr) Grant {
 	case e.owner == core:
 		g.Source = SrcShared
 	case e.owner >= 0:
+		//simlint:allow hotalloc -- invalidation fan-out per GetX is bounded by the core count; GetX events are store misses, not per cycle
 		g.Invalidates = append(g.Invalidates, e.owner)
 		g.Source = SrcRemote
 		g.RemoteOwned = true
@@ -221,6 +224,7 @@ func (d *Directory) GetX(core int, l arch.LineAddr) Grant {
 		g.Source = SrcShared
 		for c := 0; c < d.cores; c++ {
 			if c != core && e.sharers&(1<<uint(c)) != 0 {
+				//simlint:allow hotalloc -- invalidation fan-out per GetX is bounded by the core count; GetX events are store misses, not per cycle
 				g.Invalidates = append(g.Invalidates, c)
 			}
 		}
@@ -265,6 +269,7 @@ func (d *Directory) Flush(l arch.LineAddr) []int {
 	}
 	var holders []int
 	if e.owner >= 0 {
+		//simlint:allow hotalloc -- holder list is bounded by the core count and built once per clflush, which executes only at commit
 		holders = append(holders, e.owner)
 		if e.dirty {
 			d.Stats.Writebacks++
@@ -272,6 +277,7 @@ func (d *Directory) Flush(l arch.LineAddr) []int {
 	}
 	for c := 0; c < d.cores; c++ {
 		if e.sharers&(1<<uint(c)) != 0 {
+			//simlint:allow hotalloc -- holder list is bounded by the core count and built once per clflush, which executes only at commit
 			holders = append(holders, c)
 		}
 	}

@@ -121,7 +121,9 @@ func (p *CleanupSpec) CommitWait(*cpu.Machine, *cpu.LQEntry) arch.Cycle { return
 // paper bounds these at <2% of cache traffic.
 func (p *CleanupSpec) OnLoadCommitted(m *cpu.Machine, e *cpu.LQEntry) {
 	p.Stats.LoadsObserved++
-	if !e.Issued || e.IssuedAt == 0 {
+	if !e.Issued || e.IssuedAt == 0 || e.IssuedAt > m.Now() {
+		// The IssuedAt > Now arm is unreachable (issue precedes commit);
+		// it makes the subtraction below provably wrap-free.
 		return
 	}
 	if alive := m.Now() - e.IssuedAt; alive > WindowExtensionPeriod {
@@ -167,6 +169,7 @@ func (p *CleanupSpec) OnSquash(m *cpu.Machine, squashed []cpu.SquashedLoad) cpu.
 		case sl.Inflight:
 			p.Stats.DroppedInflight++
 		case sl.Completed && (sl.SEFE.L1Fill || sl.SEFE.L2Fill):
+			//simlint:allow hotalloc -- cleanup worklist, bounded by the LQ size and built once per squash event, not per cycle
 			ops = append(ops, sl)
 		}
 	}
@@ -180,14 +183,17 @@ func (p *CleanupSpec) OnSquash(m *cpu.Machine, squashed []cpu.SquashedLoad) cpu.
 	}
 
 	// (2) Undo the executed transient changes.
+	//simlint:allow hotalloc -- one exact-capacity batch per squash with executed transient loads; per-squash, bounded by the LQ size
 	batch := make([]CleanupOp, 0, len(ops))
 	for _, sl := range ops {
+		//simlint:allow hotalloc -- capacity was reserved on the line above; this append never grows
 		batch = append(batch, CleanupOp{Line: sl.Line, SEFE: sl.SEFE, FillOrder: sl.FillOrder})
 	}
 	nInval, restoreFinish := p.cleanupBatch(h, coreID, m.OwnerID(), batch, m.LineReferencedByLiveLoad, m.Now())
 
 	// (3) Stall: invalidations pipeline at one per cycle and overlap with
 	// the restores' L2 accesses.
+	//simlint:allow cyclemath -- nInval counts invalidations performed by cleanupBatch; a count is never negative
 	cleanup := arch.Cycle(nInval)
 	if restoreFinish > cleanup {
 		cleanup = restoreFinish
@@ -224,17 +230,23 @@ func (p *CleanupSpec) CleanupBatch(h *memsys.Hierarchy, coreID int, ops []Cleanu
 }
 
 func (p *CleanupSpec) cleanupBatch(h *memsys.Hierarchy, coreID, owner int, ops []CleanupOp, live func(arch.LineAddr) bool, now arch.Cycle) (nInval int, restoreFinish arch.Cycle) {
+	//simlint:allow hotalloc -- sort.Slice boxes the slice and closure once per cleanup batch; per-squash cost on a worklist bounded by the LQ size
 	sort.Slice(ops, func(i, j int) bool { return ops[i].FillOrder > ops[j].FillOrder })
 
+	//simlint:allow hotalloc -- per-squash scratch map sized to the cleanup batch; squashes are events, not cycles
 	installedByBatch := make(map[arch.LineAddr]bool, len(ops))
 	for _, op := range ops {
 		if op.SEFE.L1Fill {
 			installedByBatch[op.Line] = true
 		}
 	}
+	//simlint:allow hotalloc -- per-squash scratch map; holds at most one entry per restored victim in the batch
 	batchRestored := make(map[arch.LineAddr]bool)
 
-	nRestores := 0
+	// nRestores is a pipelining offset in cycles (one new restore starts
+	// per cycle), so it carries the cycle type directly — no signed->Cycle
+	// conversion at the use site.
+	var nRestores arch.Cycle
 	for _, op := range ops {
 		p.Stats.ExecutedCleaned++
 		// Preserve changes that correct-path execution also justifies
@@ -264,7 +276,7 @@ func (p *CleanupSpec) cleanupBatch(h *memsys.Hierarchy, coreID, owner int, ops [
 						// Restores are pipelined on the L2 port: one
 						// new restore per cycle, each taking its own
 						// latency.
-						fin := arch.Cycle(nRestores) + lat
+						fin := nRestores + lat
 						if fin > restoreFinish {
 							restoreFinish = fin
 						}

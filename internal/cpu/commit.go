@@ -1,7 +1,6 @@
 package cpu
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/arch"
@@ -13,13 +12,13 @@ import (
 // at cycle at (InvisiSpec-Initial's visibility point).
 func (m *Machine) scheduleWake(slot int32, at arch.Cycle) {
 	e := &m.rob[slot]
-	heap.Push(&m.wakeQ, doneEvent{at: at, slot: slot, seq: e.seq})
+	m.wakeQ.push(doneEvent{at: at, slot: slot, seq: e.seq})
 }
 
 // processWakes delivers deferred wakeups due this cycle.
 func (m *Machine) processWakes() {
 	for m.wakeQ.Len() > 0 && m.wakeQ[0].at <= m.now {
-		ev := heap.Pop(&m.wakeQ).(doneEvent)
+		ev := m.wakeQ.pop()
 		if !m.live(ev.slot, ev.seq) {
 			continue
 		}
@@ -86,6 +85,7 @@ func (m *Machine) commit() {
 				// The install is architecturally justified now;
 				// window-tracking marks are released (Section 3.6).
 				m.hier.ClearSpecMark(m.cfg.CoreID, lq.Line)
+				//simlint:allow cyclemath -- IssuedAt was recorded from m.now when the load issued; commit observes a later cycle
 				window := uint64(m.now - lq.IssuedAt)
 				if m.hists.exposedWindow != nil {
 					m.hists.exposedWindow.Observe(window)
@@ -148,7 +148,7 @@ func (m *Machine) commit() {
 
 func (m *Machine) freeLQHead(idx int32) {
 	if idx != m.lqHead {
-		//simlint:allow errdiscipline -- pipeline invariant: an out-of-order queue free means corrupt ROB state; continuing would produce silently wrong results
+		//simlint:allow errdiscipline,hotalloc -- pipeline invariant: an out-of-order queue free means corrupt ROB state; the Sprintf runs only on that terminal panic path
 		panic(fmt.Sprintf("cpu: committing load at LQ %d but head is %d", idx, m.lqHead))
 	}
 	m.lq[idx].valid = false
@@ -159,7 +159,7 @@ func (m *Machine) freeLQHead(idx int32) {
 
 func (m *Machine) freeSQHead(idx int32) {
 	if idx != m.sqHead {
-		//simlint:allow errdiscipline -- pipeline invariant: an out-of-order queue free means corrupt ROB state; continuing would produce silently wrong results
+		//simlint:allow errdiscipline,hotalloc -- pipeline invariant: an out-of-order queue free means corrupt ROB state; the Sprintf runs only on that terminal panic path
 		panic(fmt.Sprintf("cpu: committing store at SQ %d but head is %d", idx, m.sqHead))
 	}
 	m.sq[idx].valid = false

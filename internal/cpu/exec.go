@@ -1,8 +1,6 @@
 package cpu
 
 import (
-	"container/heap"
-
 	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/memsys"
@@ -10,6 +8,10 @@ import (
 )
 
 // seqHeap orders ready ROB slots oldest-first for deterministic issue.
+// Hand-rolled binary heap rather than container/heap: the stdlib's
+// any-typed Push/Pop boxes every item, a per-issue heap allocation on the
+// cycle loop. seq values are unique among in-flight instructions, so the
+// pop order is the fully determined ascending-seq order either way.
 type seqHeap []readyItem
 
 type readyItem struct {
@@ -17,13 +19,49 @@ type readyItem struct {
 	seq  uint64
 }
 
-func (q seqHeap) Len() int           { return len(q) }
-func (q seqHeap) Less(i, j int) bool { return q[i].seq < q[j].seq }
-func (q seqHeap) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *seqHeap) Push(x any)        { *q = append(*q, x.(readyItem)) }
-func (q *seqHeap) Pop() any          { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+func (q seqHeap) Len() int { return len(q) }
 
-// eventHeap orders scheduled completions by (cycle, seq).
+func (q *seqHeap) push(it readyItem) {
+	//simlint:allow hotalloc -- heap storage; capacity is bounded by ROB size and reused across cycles
+	h := append(*q, it)
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if h[parent].seq <= h[i].seq {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *seqHeap) pop() readyItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].seq < h[child].seq {
+			child = r
+		}
+		if h[i].seq <= h[child].seq {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	*q = h
+	return top
+}
+
+// eventHeap orders scheduled completions by (cycle, seq). Same
+// hand-rolled shape as seqHeap, same boxing-avoidance rationale; ties on
+// (at, seq) are identical events, so pop order is fully determined.
 type eventHeap []doneEvent
 
 type doneEvent struct {
@@ -33,24 +71,60 @@ type doneEvent struct {
 }
 
 func (q eventHeap) Len() int { return len(q) }
-func (q eventHeap) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+
+func (a doneEvent) before(b doneEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventHeap) Push(x any)   { *q = append(*q, x.(doneEvent)) }
-func (q *eventHeap) Pop() any     { old := *q; n := len(old); v := old[n-1]; *q = old[:n-1]; return v }
+
+func (q *eventHeap) push(ev doneEvent) {
+	//simlint:allow hotalloc -- heap storage; capacity is bounded by in-flight events and reused across cycles
+	h := append(*q, ev)
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *eventHeap) pop() doneEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].before(h[child]) {
+			child = r
+		}
+		if !h[child].before(h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	*q = h
+	return top
+}
 
 func (m *Machine) pushReady(slot int32, seq uint64) {
-	heap.Push(&m.readyQ, readyItem{slot: slot, seq: seq})
+	m.readyQ.push(readyItem{slot: slot, seq: seq})
 }
 
 func (m *Machine) scheduleDone(slot int32, at arch.Cycle) {
 	e := &m.rob[slot]
 	e.doneAt = at
-	heap.Push(&m.doneQ, doneEvent{at: at, slot: slot, seq: e.seq})
+	m.doneQ.push(doneEvent{at: at, slot: slot, seq: e.seq})
 }
 
 // live reports whether slot still holds the instruction with seq.
@@ -66,7 +140,7 @@ func (m *Machine) issue() {
 	issued := 0
 	var defered []readyItem
 	for issued < m.cfg.IssueWidth && m.readyQ.Len() > 0 {
-		it := heap.Pop(&m.readyQ).(readyItem)
+		it := m.readyQ.pop()
 		if !m.live(it.slot, it.seq) {
 			continue
 		}
@@ -77,13 +151,14 @@ func (m *Machine) issue() {
 		if !m.execute(it.slot) {
 			// Not executable this cycle (e.g. rdcycle not at head);
 			// hold it without consuming issue bandwidth.
+			//simlint:allow hotalloc -- allocates only on the rare serializing-op defer (rdcycle not at ROB head), bounded by issue width
 			defered = append(defered, it)
 			continue
 		}
 		issued++
 	}
 	for _, it := range defered {
-		heap.Push(&m.readyQ, it)
+		m.readyQ.push(it)
 	}
 }
 
@@ -139,10 +214,11 @@ func (m *Machine) execute(slot int32) bool {
 		lq.Line = lq.Addr.Line()
 		lq.HasAddr = true
 		if !m.tryIssueLoad(e.lqIdx) {
+			//simlint:allow hotalloc -- retry list is bounded by the LQ size and its capacity is recycled by retryMem's in-place filter
 			m.memRetry = append(m.memRetry, e.lqIdx)
 		}
 	default:
-		//simlint:allow errdiscipline -- decode invariant: ops are validated at assembly; an unknown op here is unreachable
+		//simlint:allow errdiscipline,hotalloc -- decode invariant: ops are validated at assembly; this panic path (and its string concat) is unreachable in a correct build
 		panic("cpu: unhandled op " + in.Op.String())
 	}
 	return true
@@ -162,6 +238,7 @@ func (m *Machine) retryMem() {
 			continue
 		}
 		if !m.tryIssueLoad(idx) {
+			//simlint:allow hotalloc -- in-place filter into m.memRetry[:0]; the result is never longer than the input, so this append cannot grow
 			rest = append(rest, idx)
 		}
 	}
@@ -291,6 +368,7 @@ func (m *Machine) tryIssueLoad(idx int32) bool {
 		// already handled before reaching the issue path.
 	}
 	seq := lq.Seq
+	//simlint:allow hotalloc -- one completion closure per issued load miss, freed when the fill returns; removing it requires widening the memsys callback contract (see ROADMAP hot-loop program)
 	txn, ok := m.hier.Load(m.cfg.CoreID, lq.Line, m.now, m.waiterID(seq), opts, func(t *memsys.Txn) {
 		m.onLoadData(idx, seq, t)
 	})
@@ -338,6 +416,7 @@ func (m *Machine) onLoadData(idx int32, seq uint64, t *memsys.Txn) {
 // completeLoad finishes a load's execution at cycle at.
 func (m *Machine) completeLoad(idx int32, at arch.Cycle, level Level) {
 	lq := &m.lq[idx]
+	//simlint:allow cyclemath -- a completion cycle is scheduled at issue time as IssuedAt plus a non-negative latency
 	m.emit(trace.KindLoadComplete, lq.Seq, m.rob[lq.slot].pc, lq.Line, uint64(at-lq.IssuedAt))
 	lq.Completed = true
 	lq.DoneAt = at
@@ -364,7 +443,7 @@ func (m *Machine) completeLoad(idx int32, at arch.Cycle, level Level) {
 // squashes on mispredicts.
 func (m *Machine) processCompletions() {
 	for m.doneQ.Len() > 0 && m.doneQ[0].at <= m.now {
-		ev := heap.Pop(&m.doneQ).(doneEvent)
+		ev := m.doneQ.pop()
 		if !m.live(ev.slot, ev.seq) {
 			continue
 		}
@@ -469,6 +548,7 @@ func (m *Machine) promoteVisibility() {
 		if lq.DelayedSafe {
 			lq.DelayedSafe = false // retry as plain GetS
 			if !lq.Issued {
+				//simlint:allow hotalloc -- retry list is bounded by the LQ size and its capacity is recycled by retryMem's in-place filter
 				m.memRetry = append(m.memRetry, i)
 			}
 		}
@@ -527,13 +607,16 @@ func (m *Machine) doSquash(cutoff uint64, stopSlot int32, redirectPC arch.Addr) 
 			SEFE: lq.SEFE, FillOrder: lq.FillOrder,
 			Inflight: lq.Issued && !lq.Completed && !lq.Forwarded,
 		}
+		//simlint:allow hotalloc -- per-squash worklist bounded by the LQ size; squashes are events, not cycles
 		squashedLoads = append(squashedLoads, sl)
 		if lq.Issued && !lq.Forwarded && m.hists.loadToSquash != nil {
+			//simlint:allow cyclemath -- IssuedAt was recorded from m.now when the load issued; the squash observes a later cycle
 			m.hists.loadToSquash.Observe(uint64(m.now - lq.IssuedAt))
 		}
 		if sl.Completed && (sl.SEFE.L1Fill || sl.SEFE.L2Fill) {
 			// The speculative install's exposure window closes here: the
 			// squash hands it to the policy's cleanup.
+			//simlint:allow cyclemath -- IssuedAt was recorded from m.now when the load issued; the squash observes a later cycle
 			window := uint64(m.now - lq.IssuedAt)
 			if m.hists.exposedWindow != nil {
 				m.hists.exposedWindow.Observe(window)
@@ -593,6 +676,7 @@ func (m *Machine) doSquash(cutoff uint64, stopSlot int32, redirectPC arch.Addr) 
 	m.fenceSeqs = truncSeqsAbove(m.fenceSeqs, cutoff-1)
 	m.ctrlSeqs = truncSeqsAbove(m.ctrlSeqs, cutoff-1)
 	m.fetchBuf = m.fetchBuf[:0]
+	m.fetchHead = 0
 
 	// Classify the squashed loads (Table 5).
 	for _, sl := range squashedLoads {

@@ -44,6 +44,7 @@ type LivelockError struct {
 func (e *LivelockError) Error() string {
 	return fmt.Sprintf(
 		"cpu: livelock: no commit for %d cycles (window %d) at cycle %d: stalled on %s (pc=%v committed=%d rob=%s lq=%s sq=%s l1mshr=%s l2mshr=%s mem-pending=%d)",
+		//simlint:allow cyclemath -- the watchdog only constructs this error after proving Cycle > LastCommit+Window
 		e.Cycle-e.LastCommit, e.Window, e.Cycle, e.Stalled, e.PC, e.Committed,
 		e.ROB, e.LQ, e.SQ, e.L1MSHR, e.L2MSHR, e.MemPending)
 }

@@ -245,6 +245,7 @@ type Machine struct {
 
 	fetchPC         arch.Addr
 	fetchBuf        []fetchSlot
+	fetchHead       int // dispatch-consumed prefix of fetchBuf; compacted in fetch
 	fetchStallUntil arch.Cycle
 	fetchHalted     bool // a halt was fetched; only a squash resumes fetch
 
@@ -369,7 +370,7 @@ func (m *Machine) AttachTracer(r *trace.Ring) { m.tracer = r }
 // (Stats.Cycles itself is only materialized when Run returns).
 func (m *Machine) AttachMetrics(reg *metrics.Registry) {
 	s := &m.Stats
-	reg.CounterFunc("cpu.cycles", func() uint64 { return uint64(m.now - m.cycleBase) })
+	reg.CounterFunc("cpu.cycles", func() uint64 { return m.windowCycles() })
 	reg.BindCounter("cpu.committed", &s.Committed)
 	reg.BindCounter("cpu.fetched", &s.Fetched)
 	reg.BindCounter("cpu.loads_committed", &s.LoadsCommitted)
@@ -420,6 +421,17 @@ func (m *Machine) ResetStats() {
 	m.Stats = Stats{}
 }
 
+// windowCycles returns the simulated cycles elapsed in the current
+// measurement window. cycleBase is only ever captured from m.now (which
+// is monotone), so the subtraction cannot wrap; the guard makes that
+// invariant local and provable instead of implicit.
+func (m *Machine) windowCycles() uint64 {
+	if m.now < m.cycleBase {
+		return 0
+	}
+	return uint64(m.now - m.cycleBase)
+}
+
 // Run simulates until the program halts, maxInstructions commit (within the
 // current measurement window), or the cycle limit is reached. It returns
 // the stats snapshot.
@@ -432,7 +444,10 @@ func (m *Machine) Run(maxInstructions uint64) Stats {
 			break
 		}
 		m.step()
-		if watchdog != 0 && m.now-m.lastCommitCycle > watchdog {
+		// Wrap-safe watchdog: comparing against the sum instead of
+		// subtracting means a (model-bug) lastCommitCycle ahead of now
+		// reads as "no stall" rather than an instant ~1.8e19-cycle stall.
+		if watchdog != 0 && m.now > m.lastCommitCycle+watchdog {
 			// Forward-progress watchdog: a commit stall this long is a
 			// model bug or an injected livelock. Diagnose and stop
 			// instead of burning to MaxCycles.
@@ -440,7 +455,7 @@ func (m *Machine) Run(maxInstructions uint64) Stats {
 			break
 		}
 	}
-	m.Stats.Cycles = uint64(m.now - m.cycleBase)
+	m.Stats.Cycles = m.windowCycles()
 	return m.Stats
 }
 
@@ -470,7 +485,7 @@ func (m *Machine) step() {
 		// Sample at end of cycle so the snapshot reflects this cycle's
 		// commits; the cycle number is window-relative, matching the
 		// Stats.Cycles the run ultimately reports.
-		m.sampler.Tick(uint64(m.now - m.cycleBase))
+		m.sampler.Tick(m.windowCycles())
 	}
 }
 
@@ -501,6 +516,7 @@ func truncSeqsAbove(seqs []uint64, bound uint64) []uint64 {
 	out := seqs[:0]
 	for _, s := range seqs {
 		if s <= bound {
+			//simlint:allow hotalloc -- in-place filter into seqs[:0]; the result is never longer than the input, so this append cannot grow
 			out = append(out, s)
 		}
 	}
@@ -513,6 +529,15 @@ func truncSeqsAbove(seqs []uint64, bound uint64) []uint64 {
 func (m *Machine) fetch() {
 	if m.halted || m.fetchHalted || m.now < m.fetchStallUntil {
 		return
+	}
+	if m.fetchHead > 0 {
+		// Compact the dispatch-consumed prefix instead of re-slicing it
+		// away: advancing the slice start (fetchBuf = fetchBuf[1:]) leaks
+		// capacity in front of the window, so the append below would
+		// reallocate the buffer at a steady rate forever.
+		n := copy(m.fetchBuf, m.fetchBuf[m.fetchHead:])
+		m.fetchBuf = m.fetchBuf[:n]
+		m.fetchHead = 0
 	}
 	for len(m.fetchBuf) < m.cfg.FetchWidth*2 {
 		// Instruction cache: a miss stalls the front end.
@@ -545,6 +570,7 @@ func (m *Machine) fetch() {
 		default:
 			fs.predNext = m.fetchPC + 1
 		}
+		//simlint:allow hotalloc -- fetch buffer capacity tops out at 2x fetch width and is reused across cycles via head compaction in fetch()
 		m.fetchBuf = append(m.fetchBuf, fs)
 		m.fetchPC = fs.predNext
 		m.Stats.Fetched++
@@ -562,11 +588,11 @@ func (m *Machine) fetch() {
 
 // dispatch renames and inserts fetched instructions into the ROB/LQ/SQ.
 func (m *Machine) dispatch() {
-	for n := 0; n < m.cfg.FetchWidth && len(m.fetchBuf) > 0; n++ {
+	for n := 0; n < m.cfg.FetchWidth && m.fetchHead < len(m.fetchBuf); n++ {
 		if m.robCount >= int32(m.cfg.ROBSize) {
 			return
 		}
-		fs := m.fetchBuf[0]
+		fs := m.fetchBuf[m.fetchHead]
 		op := fs.inst.Op
 		if op == isa.OpLoad && m.lqCount >= int32(m.cfg.LQSize) {
 			return
@@ -574,7 +600,7 @@ func (m *Machine) dispatch() {
 		if op == isa.OpStore && m.sqCount >= int32(m.cfg.SQSize) {
 			return
 		}
-		m.fetchBuf = m.fetchBuf[1:]
+		m.fetchHead++
 
 		slot := m.robTail
 		m.robTail = (m.robTail + 1) % int32(m.cfg.ROBSize)
@@ -587,6 +613,10 @@ func (m *Machine) dispatch() {
 			predTaken: fs.predTaken, predTarget: fs.predNext,
 			predState: fs.predState, snapshot: fs.snapshot, hasPred: fs.hasPred,
 			src1Ready: true, src2Ready: true,
+			// Recycle the slot's consumer list: a fresh nil here would
+			// throw away its capacity and make every bindSource append
+			// allocate anew for the lifetime of the run.
+			consumers: e.consumers[:0],
 		}
 
 		// Source operands.
@@ -623,9 +653,11 @@ func (m *Machine) dispatch() {
 			m.sq[idx] = sqEntry{valid: true, slot: slot, seq: seq}
 			e.sqIdx = idx
 		case isa.OpFence:
+			//simlint:allow hotalloc -- bounded by in-flight fences (at most ROB size); capacity is recycled by the in-place removeSeq/truncSeqsAbove filters
 			m.fenceSeqs = append(m.fenceSeqs, seq)
 		case isa.OpBranch, isa.OpRet:
 			e.isCtrl = true
+			//simlint:allow hotalloc -- bounded by in-flight branches (at most ROB size); capacity is recycled by the in-place removeSeq/truncSeqsAbove filters
 			m.ctrlSeqs = append(m.ctrlSeqs, seq)
 		default:
 			// Other ops occupy only their ROB slot: no LQ/SQ/fence
@@ -662,6 +694,7 @@ func (m *Machine) bindSource(slot int32, which uint8, r isa.Reg) {
 		e.src2Ready = false
 	}
 	e.pendSrcs++
+	//simlint:allow hotalloc -- bounded by each producer's dependents; the backing array is recycled via consumers[:0] when the ROB entry is reused
 	pe.consumers = append(pe.consumers, consumer{slot: slot, seq: e.seq, src: which})
 }
 

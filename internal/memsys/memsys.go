@@ -361,9 +361,11 @@ type LoadOpts struct {
 func (h *Hierarchy) Load(core int, line arch.LineAddr, now arch.Cycle, seq uint64, opts LoadOpts, onDone func(*Txn)) (*Txn, bool) {
 	if opts.SafeGetS && h.dir.RemoteOwner(core, line) >= 0 {
 		h.Stats.SafeGetSDelays++
+		//simlint:allow hotalloc -- synthetic delayed-GetS reply, one per failed safe load; bounded by load issue events (see ROADMAP hot-loop program for Txn pooling)
 		return &Txn{Core: core, Line: line, Seq: seq, Level: LevelDelayed}, true
 	}
 
+	//simlint:allow hotalloc -- one transaction per issued load, live until its fill returns; bounded by MSHR capacity (see ROADMAP hot-loop program for Txn pooling)
 	t := &Txn{
 		Core: core, Line: line, Seq: seq, Kind: opts.Kind,
 		Spec: opts.Spec, NoFill: opts.NoFill, Owner: opts.Owner,
@@ -870,6 +872,7 @@ func (h *Hierarchy) L2RemapStep() (moved int) {
 	for w := 0; w < h.l2.Ways(); w++ {
 		ln := h.l2.LineAt(s, w)
 		if ln.Valid() && ix.CurIndex(ln.Tag) == s && ix.NextIndex(ln.Tag) != s {
+			//simlint:allow hotalloc -- remap worklist bounded by L2 associativity, built once per periodic CEASER remap step, not per cycle
 			movers = append(movers, mover{ln.Tag, ln.Dirty})
 		}
 	}

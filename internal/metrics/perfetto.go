@@ -118,6 +118,7 @@ func BuildChromeEvents(opts ChromeTraceOpts) []ChromeEvent {
 			}
 			delete(openIssue, e.Seq)
 			out = append(out, ChromeEvent{
+				//simlint:allow cyclemath -- the trace ring preserves emission order: a load's completion event never precedes its issue event
 				Name: "load", Ph: "X", Ts: uint64(iss.Cycle), Dur: uint64(e.Cycle - iss.Cycle),
 				Pid: pid, Tid: TidLoads, Cat: "load",
 				Args: map[string]any{"seq": e.Seq, "pc": uint64(iss.PC), "line": uint64(e.Line)},

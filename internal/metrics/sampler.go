@@ -62,14 +62,17 @@ func (s *Sampler) Flush(finalCycle uint64) {
 
 func (s *Sampler) take(cycle uint64) {
 	sm := Sample{
-		Cycle:    cycle,
+		Cycle: cycle,
+		//simlint:allow hotalloc -- one snapshot map per sampling interval (thousands of cycles), not per cycle; samples own their maps
 		Counters: make(map[string]uint64),
 	}
 	s.reg.counterSnapshot(sm.Counters)
 	if s.reg.hasKind(KindGauge) {
+		//simlint:allow hotalloc -- one snapshot map per sampling interval (thousands of cycles), not per cycle; samples own their maps
 		sm.Gauges = make(map[string]float64)
 		s.reg.gaugeSnapshot(sm.Gauges)
 	}
+	//simlint:allow hotalloc -- the recorded series grows once per sampling interval and is the run's output, not per-cycle scratch
 	s.samples = append(s.samples, sm)
 }
 
@@ -100,9 +103,10 @@ func Rates(samples []Sample, name string) []float64 {
 	var prevV, prevC uint64
 	for i, s := range samples {
 		v := s.Counters[name]
-		dc := s.Cycle - prevC
-		if dc > 0 {
-			out[i] = float64(v-prevV) / float64(dc)
+		// Guard before subtracting: a non-monotone sample stream (stale
+		// or merged input) must yield zero rate, not a wrapped uint64.
+		if s.Cycle > prevC {
+			out[i] = float64(v-prevV) / float64(s.Cycle-prevC)
 		}
 		prevV, prevC = v, s.Cycle
 	}

@@ -72,6 +72,7 @@ func (v *ValuePredict) launchValidation(m *cpu.Machine, e *cpu.LQEntry) {
 	// from colliding with the machine's own waiter ids in the MSHR.
 	waiter := seq<<6 | 63
 	txn, ok := m.Hierarchy().Load(m.CoreID(), e.Line, m.Now(), waiter,
+		//simlint:allow hotalloc -- one validation closure per value-predicted load nearing commit; bounded by mispredicted-miss events, not cycles
 		memsys.LoadOpts{Owner: m.ThreadID()}, func(t *memsys.Txn) {
 			if !e.ValuePredicted || e.Seq != seq {
 				return // the load itself was squashed meanwhile

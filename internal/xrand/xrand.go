@@ -16,6 +16,7 @@ type Rand struct {
 // New returns a generator seeded with seed. Two generators with the same
 // seed produce identical streams.
 func New(seed uint64) *Rand {
+	//simlint:allow hotalloc -- constructor; the only simulated-hot-path caller creates one generator per periodic CEASER remap epoch, an amortized event
 	return &Rand{state: seed}
 }
 
